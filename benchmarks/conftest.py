@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Each module regenerates one table or figure from the paper.  Expensive
+experiments run once per module (module-scoped fixtures), are printed
+with ``-s`` or captured into the benchmark log, and the pytest-benchmark
+fixture times the scheduling work itself so `--benchmark-only` runs
+report meaningful numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_report(title: str, body: str) -> None:
+    """Emit a report block that survives pytest capture (via terminal
+    writer on -s, else stored for the summary)."""
+    banner = "=" * max(20, len(title))
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

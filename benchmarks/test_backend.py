@@ -1,0 +1,79 @@
+"""Bench: the full Raw backend — schedules to switch programs.
+
+Not a paper table; a soundness sweep showing every Raw-suite schedule
+lowers to conflict-free static-network switch code and survives the
+dynamic (cycle-driven) replay, with per-benchmark network statistics.
+"""
+
+import pytest
+
+from repro.core import ConvergentScheduler
+from repro.harness import format_table
+from repro.machine import generate_switch_code, raw_with_tiles, validate_switch_code
+from repro.sim import simulate
+from repro.sim.dynamic import dynamic_execute
+from repro.workloads import RAW_SUITE, build_benchmark
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def backend_rows():
+    machine = raw_with_tiles(16)
+    scheduler = ConvergentScheduler()
+    rows = []
+    for name in RAW_SUITE:
+        region = build_benchmark(name, machine).regions[0]
+        schedule = scheduler.schedule(region, machine)
+        static = simulate(region, machine, schedule, check_values=False)
+        dynamic = dynamic_execute(region, machine, schedule)
+        programs = generate_switch_code(schedule, machine)
+        violations = validate_switch_code(programs, schedule, machine)
+        route_ops = sum(len(ops) for ops in programs.values())
+        hottest = static.hottest_resource()
+        rows.append(
+            {
+                "benchmark": name,
+                "cycles": static.cycles,
+                "transfers": static.transfers,
+                "route_ops": route_ops,
+                "violations": len(violations),
+                "dynamic_ok": dynamic.ok,
+                "hottest": f"{hottest[0]}={hottest[1]}" if hottest else "-",
+            }
+        )
+    return rows
+
+
+def test_backend_report(backend_rows):
+    table = format_table(
+        ["benchmark", "cycles", "transfers", "route ops", "hottest resource"],
+        [
+            [r["benchmark"], r["cycles"], r["transfers"], r["route_ops"], r["hottest"]]
+            for r in backend_rows
+        ],
+        title="Raw backend sweep (16 tiles, convergent)",
+    )
+    print_report("Backend: switch code + dynamic replay", table)
+    assert len(backend_rows) == len(RAW_SUITE)
+
+
+def test_all_switch_code_is_clean(backend_rows):
+    assert all(r["violations"] == 0 for r in backend_rows)
+
+
+def test_all_dynamic_replays_agree(backend_rows):
+    assert all(r["dynamic_ok"] for r in backend_rows)
+
+
+def test_route_ops_scale_with_transfers(backend_rows):
+    for r in backend_rows:
+        if r["transfers"]:
+            assert r["route_ops"] >= 2 * r["transfers"]  # inject + eject
+
+
+def test_bench_switch_generation(benchmark):
+    machine = raw_with_tiles(16)
+    region = build_benchmark("life", machine).regions[0]
+    schedule = ConvergentScheduler().schedule(region, machine)
+    benchmark(lambda: generate_switch_code(schedule, machine))

@@ -1,0 +1,65 @@
+"""Figure 10: compile time vs input size for PCC, UAS, and convergent.
+
+The paper's scalability result: UAS and convergent scheduling take
+about the same time and scale considerably better than PCC, whose
+iterative descent over partial components dominates on large units.
+Absolute times are era- and language-specific; the shape is the claim.
+"""
+
+import pytest
+
+from repro.harness import compile_time_scaling
+
+from .conftest import print_report
+
+SIZES = (50, 100, 200, 400, 800, 1600)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return compile_time_scaling(sizes=SIZES)
+
+
+def test_figure10_report(scaling):
+    lines = [scaling.render()]
+    for scheduler in scaling.seconds:
+        lines.append(
+            f"  {scheduler}: time(1600)/time(50) = "
+            f"{scaling.growth_factor(scheduler):.1f}x"
+        )
+    print_report("Figure 10", "\n".join(lines))
+    assert set(scaling.seconds) == {"pcc", "uas", "convergent"}
+
+
+def test_pcc_scales_worst(scaling):
+    pcc_time = scaling.seconds["pcc"][SIZES[-1]]
+    assert pcc_time > scaling.seconds["uas"][SIZES[-1]]
+    assert pcc_time > scaling.seconds["convergent"][SIZES[-1]]
+
+
+def test_uas_and_convergent_in_the_same_class(scaling):
+    """UAS and convergent belong to one compile-time class, PCC to
+    another: at the largest size, convergent stays within a (noise
+    tolerant) constant factor of UAS while PCC is far beyond both."""
+    uas = scaling.seconds["uas"][SIZES[-1]]
+    conv = scaling.seconds["convergent"][SIZES[-1]]
+    pcc = scaling.seconds["pcc"][SIZES[-1]]
+    ratio = max(uas, conv) / max(min(uas, conv), 1e-9)
+    assert ratio < 20.0
+    assert pcc > 2.0 * max(uas, conv)
+
+
+def test_all_schedulers_handle_the_largest_input(scaling):
+    for scheduler in scaling.seconds:
+        assert scaling.seconds[scheduler][SIZES[-1]] > 0
+
+
+def test_bench_convergent_on_large_graph(benchmark):
+    from repro.core import ConvergentScheduler
+    from repro.machine import ClusteredVLIW
+    from repro.workloads import apply_congruence, layered_graph
+
+    machine = ClusteredVLIW(4)
+    program = apply_congruence(layered_graph(800, width=12), machine)
+    region = program.regions[0]
+    benchmark(lambda: ConvergentScheduler().schedule(region, machine))

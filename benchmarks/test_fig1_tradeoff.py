@@ -1,0 +1,114 @@
+"""Figure 1: the parallelism/locality tradeoff on a spatial machine.
+
+Reconstructs the paper's motivating example: a small graph of adds and
+multiplies on a three-cluster machine with one functional unit per
+cluster and one cycle of communication latency.  Conservative
+partitioning (everything local) and maximally aggressive partitioning
+both lose to a careful middle ground — which is what the schedulers
+must find automatically.
+"""
+
+import pytest
+
+from repro.ir import LatencyModel, RegionBuilder
+from repro.ir.opcode import FuncClass
+from repro.machine.fu import Cluster, FunctionalUnit
+from repro.machine.machine import Machine
+from repro.schedulers import ListScheduler, UnifiedAssignAndSchedule
+from repro.sim import simulate
+
+from .conftest import print_report
+
+
+class ThreeClusterMachine(Machine):
+    """Figure 1's machine: 3 clusters, 1 universal FU each, 1-cycle
+    receive latency between any pair."""
+
+    memory_affinity = "soft"
+    remote_mem_penalty = 0
+
+    def __init__(self):
+        unit_classes = frozenset(
+            {FuncClass.IALU, FuncClass.IMUL, FuncClass.FPU, FuncClass.MEM,
+             FuncClass.CONST}
+        )
+        clusters = [
+            Cluster(index=i, units=(FunctionalUnit("u", unit_classes),))
+            for i in range(3)
+        ]
+        model = LatencyModel().with_overrides(mul=1, add=1)
+        super().__init__(clusters, model, name="fig1x3")
+
+    def comm_latency(self, src, dst):
+        return 0 if src == dst else 1
+
+    def comm_resources(self, src, dst):
+        return () if src == dst else (("recv", dst, src),)
+
+    def distance(self, src, dst):
+        return 0 if src == dst else 1
+
+
+def figure1_region():
+    """Two mul/add chains feeding a final add, as in Figure 1(a)."""
+    b = RegionBuilder("fig1")
+    m1 = b.li(1.0, name="1 MUL")
+    a2 = b.li(2.0, name="2 ADD")
+    m3 = b.mul(m1, m1, name="3 MUL")
+    a4 = b.add(a2, a2, name="4 ADD")
+    m5 = b.mul(m3, m3, name="5 MUL")
+    a6 = b.add(a4, a4, name="6 ADD")
+    a7 = b.add(a2, a4, name="7 ADD")
+    a8 = b.add(m5, a6, name="8 ADD")
+    b.live_out(a8)
+    b.live_out(a7)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return ThreeClusterMachine()
+
+
+@pytest.fixture(scope="module")
+def region():
+    return figure1_region()
+
+
+def schedule_with_assignment(region, machine, mapping):
+    assignment = {i: mapping.get(i, 0) for i in range(len(region.ddg))}
+    schedule = ListScheduler().schedule(region, machine, assignment=assignment)
+    simulate(region, machine, schedule)
+    return schedule
+
+
+def test_figure1_tradeoff(region, machine):
+    # (a) conservative: everything on cluster 0.
+    conservative = schedule_with_assignment(region, machine, {})
+    # (b) aggressive: spread every chain and the join across clusters.
+    aggressive = schedule_with_assignment(
+        region, machine,
+        {0: 0, 2: 1, 3: 0, 4: 1, 5: 0, 6: 2, 1: 2, 7: 2, 8: 1, 9: 2},
+    )
+    # (c) careful: multiply chain on cluster 0, add chain on cluster 1,
+    # spill-over work on cluster 2; join where the slow chain lives.
+    careful = schedule_with_assignment(
+        region, machine,
+        {0: 0, 1: 1, 2: 0, 3: 1, 4: 0, 5: 1, 6: 2, 7: 0, 8: 0, 9: 2},
+    )
+    body = "\n".join([
+        f"(a) conservative (1 cluster) : {conservative.makespan} cycles",
+        f"(b) aggressive (max spread)  : {aggressive.makespan} cycles, "
+        f"{aggressive.comm_count()} transfers",
+        f"(c) careful tradeoff         : {careful.makespan} cycles, "
+        f"{careful.comm_count()} transfers",
+    ])
+    print_report("Figure 1: parallelism vs locality", body)
+    assert careful.makespan <= conservative.makespan
+    assert careful.makespan <= aggressive.makespan
+
+
+def test_uas_finds_a_good_tradeoff(region, machine, benchmark):
+    schedule = benchmark(lambda: UnifiedAssignAndSchedule().schedule(region, machine))
+    conservative = schedule_with_assignment(region, machine, {})
+    assert schedule.makespan <= conservative.makespan

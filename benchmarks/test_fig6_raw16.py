@@ -1,0 +1,49 @@
+"""Figure 6: Rawcc vs convergent scheduling on the 16-tile Raw machine.
+
+The bar-chart view of Table 2's last column, with the paper's headline
+comparison (convergent ~21% better on average on their substrate).
+"""
+
+import pytest
+
+from repro.harness import format_bar_chart, raw_speedups
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def table():
+    return raw_speedups(sizes=(16,), check_values=False)
+
+
+def test_figure6_chart(table):
+    series = {
+        bench: {
+            "rawcc": values["rawcc"][16],
+            "convergent": values["convergent"][16],
+        }
+        for bench, values in table.speedups.items()
+    }
+    chart = format_bar_chart(series, title="Speedup on 16 Raw tiles (vs 1 tile)")
+    improvement = table.improvement("convergent", "rawcc", 16)
+    print_report(
+        "Figure 6",
+        chart + f"\n\nmean improvement convergent over rawcc: {100 * improvement:+.1f}%",
+    )
+    assert improvement > 0.10
+
+
+def test_dense_benchmarks_scale_past_4x(table):
+    for bench in ("mxm", "life", "swim", "vpenta"):
+        assert table.speedups[bench]["convergent"][16] > 4.0
+
+
+def test_bench_figure6_workload(benchmark):
+    """Time the 16-tile convergent run of one dense benchmark."""
+    from repro.core import ConvergentScheduler
+    from repro.machine import raw_with_tiles
+    from repro.workloads import build_benchmark
+
+    machine = raw_with_tiles(16)
+    region = build_benchmark("life", machine).regions[0]
+    benchmark(lambda: ConvergentScheduler().schedule(region, machine))

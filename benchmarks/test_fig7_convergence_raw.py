@@ -1,0 +1,71 @@
+"""Figure 7: convergence of spatial assignments on Raw.
+
+For each Raw-suite benchmark, the fraction of instructions whose
+preferred tile changes after each spatially active pass.  The paper's
+observations to reproduce: preplacement-rich benchmarks converge
+quickly once PLACEPROP/LOAD/PLACE have run; fpppp-kernel and sha rely
+on the later parallelism/communication passes; churn ends near zero.
+"""
+
+import pytest
+
+from repro.harness import convergence_study
+from repro.machine import raw_with_tiles
+from repro.workloads import LOW_PREPLACEMENT, RAW_SUITE
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def study():
+    return convergence_study(raw_with_tiles(16), RAW_SUITE)
+
+
+def test_figure7_report(study):
+    print_report("Figure 7: convergence on Raw (16 tiles)", study.render())
+    assert set(study.series) == set(RAW_SUITE)
+
+
+def test_assignments_converge(study):
+    """Churn falls from its peak: every benchmark ends well below its
+    high-water mark, and the suite as a whole ends near quiescence.
+    (As in the paper, the preplacement-poor benchmarks keep adjusting
+    through the late parallelism/communication passes.)"""
+    finals = []
+    for bench, series in study.series.items():
+        assert series[-1] <= max(0.35, 0.75 * max(series)), (
+            f"{bench} still churning after the last pass"
+        )
+        finals.append(series[-1])
+    assert sum(finals) / len(finals) <= 0.15
+
+
+def test_rich_preplacement_converges_early(study):
+    """After the preplacement-driven prefix (through PLACE), dense
+    benchmarks should already be mostly settled."""
+    names = study.pass_names
+    prefix_end = max(i for i, n in enumerate(names) if n in ("PLACE", "PLACEPROP", "LOAD")) + 1
+    for bench in ("mxm", "jacobi", "life"):
+        late_churn = max(study.series[bench][prefix_end:], default=0.0)
+        assert late_churn <= 0.5
+
+    # The preplacement-poor benchmarks still see action later on.
+    late_activity = [
+        max(study.series[bench][prefix_end:], default=0.0)
+        for bench in LOW_PREPLACEMENT
+    ]
+    assert max(late_activity) > 0.0
+
+
+def test_bench_traced_convergence(benchmark):
+    from repro.core import ConvergentScheduler
+    from repro.workloads import build_benchmark
+
+    machine = raw_with_tiles(16)
+    region = build_benchmark("mxm", machine).regions[0]
+
+    def run():
+        return ConvergentScheduler().converge(region, machine)
+
+    result = benchmark(run)
+    assert result.trace.spatial_records()

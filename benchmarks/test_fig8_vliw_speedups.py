@@ -1,0 +1,64 @@
+"""Figure 8: PCC vs UAS vs convergent on a four-cluster VLIW.
+
+Speedups relative to a single-cluster machine.  The paper reports
+convergent scheduling ahead of UAS (+14%) and PCC (+28%) on average,
+with per-benchmark variation (PCC strong on tomcatv, weak on fir).
+"""
+
+import pytest
+
+from repro.harness import format_bar_chart, vliw_speedups
+from repro.workloads import VLIW_SUITE
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def table():
+    return vliw_speedups(check_values=False)
+
+
+def test_figure8_report(table):
+    series = {
+        bench: {name: values[name][4] for name in ("pcc", "uas", "convergent")}
+        for bench, values in table.speedups.items()
+    }
+    chart = format_bar_chart(series, title="Speedup on 4 VLIW clusters (vs 1)")
+    lines = [
+        chart,
+        f"convergent vs uas: {100 * table.improvement('convergent', 'uas', 4):+.1f}%",
+        f"convergent vs pcc: {100 * table.improvement('convergent', 'pcc', 4):+.1f}%",
+    ]
+    print_report("Figure 8", "\n".join(lines))
+    assert set(table.speedups) == set(VLIW_SUITE)
+
+
+def test_convergent_beats_both_baselines_on_average(table):
+    assert table.improvement("convergent", "uas", 4) > 0.0
+    assert table.improvement("convergent", "pcc", 4) > 0.0
+
+
+def test_convergent_wins_majority_of_benchmarks(table):
+    wins = sum(
+        1
+        for bench in VLIW_SUITE
+        if table.speedups[bench]["convergent"][4]
+        >= max(table.speedups[bench][s][4] for s in ("uas", "pcc")) - 1e-9
+    )
+    assert wins >= len(VLIW_SUITE) // 2
+
+
+def test_every_scheduler_beats_single_cluster(table):
+    for bench in VLIW_SUITE:
+        for scheduler in ("pcc", "uas", "convergent"):
+            assert table.speedups[bench][scheduler][4] >= 1.0
+
+
+def test_bench_vliw_schedulers(benchmark):
+    from repro.core import ConvergentScheduler
+    from repro.machine import ClusteredVLIW
+    from repro.workloads import build_benchmark
+
+    machine = ClusteredVLIW(4)
+    region = build_benchmark("tomcatv", machine).regions[0]
+    benchmark(lambda: ConvergentScheduler().schedule(region, machine))

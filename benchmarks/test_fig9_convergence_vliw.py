@@ -1,0 +1,47 @@
+"""Figure 9: convergence of spatial assignments on Chorus (VLIW).
+
+The VLIW-suite counterpart of Figure 7: preferred-cluster churn per
+spatially active pass, ending near zero for every benchmark.
+"""
+
+import pytest
+
+from repro.harness import convergence_study
+from repro.machine import ClusteredVLIW
+from repro.workloads import VLIW_SUITE
+
+from .conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def study():
+    return convergence_study(ClusteredVLIW(4), VLIW_SUITE)
+
+
+def test_figure9_report(study):
+    print_report("Figure 9: convergence on Chorus (4 clusters)", study.render())
+    assert set(study.series) == set(VLIW_SUITE)
+
+
+def test_assignments_converge(study):
+    for bench, series in study.series.items():
+        assert series[-1] <= 0.10, f"{bench} still churning after the last pass"
+
+
+def test_early_passes_move_more_than_late_passes(study):
+    for bench, series in study.series.items():
+        if max(series) == 0:
+            continue
+        early = max(series[: len(series) // 2])
+        late = max(series[len(series) // 2:])
+        assert late <= early + 1e-9, bench
+
+
+def test_bench_traced_convergence_vliw(benchmark):
+    from repro.core import ConvergentScheduler
+    from repro.workloads import build_benchmark
+
+    machine = ClusteredVLIW(4)
+    region = build_benchmark("cholesky", machine).regions[0]
+    result = benchmark(lambda: ConvergentScheduler().converge(region, machine))
+    assert result.trace.spatial_records()

@@ -1,0 +1,61 @@
+"""Bench: automatic pass-sequence selection (the paper's future work).
+
+Hill-climbs a sequence for the 4-cluster VLIW on a two-benchmark
+training set and evaluates the result on held-out benchmarks —
+the systematic heuristics selection the paper defers, in the spirit of
+Cooper's GA pass ordering.
+"""
+
+import pytest
+
+from repro.core import ConvergentScheduler
+from repro.core.search import evaluate_sequence, search_sequence_for
+from repro.machine import ClusteredVLIW
+from repro.workloads import build_benchmark
+
+from .conftest import print_report
+
+TRAIN = ("vvmul", "yuv")
+HELD_OUT = ("mxm", "rbsorf")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return ClusteredVLIW(4)
+
+
+@pytest.fixture(scope="module")
+def search_result(machine):
+    regions = [build_benchmark(n, machine).regions[0] for n in TRAIN]
+    return search_sequence_for(machine, regions, iterations=40, seed=0)
+
+
+def test_search_report(search_result, machine):
+    start_seq, start_score = search_result.history[0]
+    lines = [
+        f"training set : {', '.join(TRAIN)}",
+        f"start  ({start_score:6.0f} cycles): {' '.join(start_seq)}",
+        f"best   ({search_result.best_score:6.0f} cycles): "
+        f"{' '.join(search_result.best_sequence)}",
+        f"evaluations  : {search_result.evaluations}",
+    ]
+    print_report("Sequence search (hill climbing)", "\n".join(lines))
+    assert search_result.best_score <= start_score
+
+
+def test_searched_sequence_generalizes(search_result, machine):
+    """The found sequence must not be a training-set overfit disaster:
+    on held-out benchmarks it stays within 15% of the tuned default."""
+    held_out = [build_benchmark(n, machine).regions[0] for n in HELD_OUT]
+    from repro.core import TUNED_VLIW_SEQUENCE
+
+    default_score = evaluate_sequence(TUNED_VLIW_SEQUENCE, held_out, machine)
+    searched_score = evaluate_sequence(
+        search_result.best_sequence, held_out, machine
+    )
+    assert searched_score <= default_score * 1.15
+
+
+def test_bench_search_iteration_cost(benchmark, machine):
+    regions = [build_benchmark("vvmul", machine).regions[0]]
+    benchmark(lambda: search_sequence_for(machine, regions, iterations=3, seed=1))

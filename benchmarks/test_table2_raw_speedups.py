@@ -1,0 +1,73 @@
+"""Table 2: Rawcc baseline vs convergent scheduling on 2-16 Raw tiles.
+
+Regenerates the full speedup table (speedup relative to one tile for
+the same program) and asserts the paper's qualitative claims:
+
+* convergent scheduling wins on the preplacement-rich dense-matrix
+  benchmarks at 8 and 16 tiles;
+* the average improvement at 16 tiles is substantial (paper: 21%);
+* both schedulers struggle on sha relative to dense code.
+"""
+
+import pytest
+
+from repro.harness import raw_speedups
+from repro.workloads import LOW_PREPLACEMENT, RAW_SUITE
+
+from .conftest import print_report
+
+DENSE = [b for b in RAW_SUITE if b not in LOW_PREPLACEMENT]
+
+
+@pytest.fixture(scope="module")
+def table():
+    return raw_speedups(sizes=(2, 4, 8, 16), check_values=False)
+
+
+def test_table2_report(table):
+    lines = [table.render("Table 2: speedup relative to one Raw tile")]
+    for n in (2, 4, 8, 16):
+        lines.append(
+            f"  mean improvement of convergent over rawcc at {n:2d} tiles: "
+            f"{100 * table.improvement('convergent', 'rawcc', n):+.1f}%"
+        )
+    print_report("Table 2", "\n".join(lines))
+    assert set(table.speedups) == set(RAW_SUITE)
+
+
+def test_convergent_wins_on_dense_benchmarks_at_16(table):
+    wins = sum(
+        1
+        for b in DENSE
+        if table.speedups[b]["convergent"][16] >= table.speedups[b]["rawcc"][16]
+    )
+    assert wins >= len(DENSE) - 2
+
+
+def test_average_improvement_at_16_tiles(table):
+    improvement = table.improvement("convergent", "rawcc", 16)
+    assert improvement > 0.10  # paper: +21% on their substrate
+
+
+def test_speedups_grow_with_tiles(table):
+    for b in DENSE:
+        conv = table.speedups[b]["convergent"]
+        assert conv[16] > conv[2]
+
+
+def test_sha_is_hard_for_everyone(table):
+    for scheduler in ("rawcc", "convergent"):
+        assert table.speedups["sha"][scheduler][16] < min(
+            table.speedups[b][scheduler][16] for b in ("mxm", "life", "swim")
+        )
+
+
+def test_bench_convergent_scheduling_cost(benchmark, table):
+    """Time the convergent scheduler on the largest Raw benchmark."""
+    from repro.core import ConvergentScheduler
+    from repro.machine import raw_with_tiles
+    from repro.workloads import build_benchmark
+
+    machine = raw_with_tiles(16)
+    region = build_benchmark("tomcatv", machine).regions[0]
+    benchmark(lambda: ConvergentScheduler().schedule(region, machine))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Extending the convergent scheduler with a new heuristic.
+
+Section 2 of the paper argues the framework's main virtue is that a
+compiler writer can bolt on a new constraint without touching the other
+heuristics: write one pass against the preference-map interface and
+insert it anywhere in the sequence.
+
+This example implements the paper's own suggestion: an architecture
+that fuses a memory access with its address increment benefits from
+keeping the two on one cluster.  ``PairAffinity`` pulls every (load,
+address-producer) pair together.  We splice it into a sequence that
+otherwise distributes work with no idea pairs exist, and count how many
+pairs each schedule splits across clusters.
+
+Run:
+    python examples/custom_pass.py
+"""
+
+from repro import ClusteredVLIW, ConvergentScheduler, RegionBuilder
+from repro.core import build_sequence
+from repro.core.passes import PassContext, SchedulingPass
+from repro.ir.regions import Program
+from repro.sim import simulate
+from repro.workloads import apply_congruence
+
+
+class PairAffinity(SchedulingPass):
+    """Keep each memory access with the instruction computing its
+    address, so a post-increment machine can fuse them."""
+
+    name = "PAIR"
+
+    def __init__(self, boost: float = 4.0) -> None:
+        self.boost = boost
+
+    def apply(self, ctx: PassContext) -> None:
+        marginals = ctx.matrix.cluster_marginals()
+        for inst in ctx.ddg:
+            if not inst.is_memory or not inst.operands:
+                continue
+            address = inst.operands[0]
+            # Pull both endpoints toward the pair's strongest cluster.
+            combined = marginals[inst.uid] + marginals[address]
+            target = int(combined.argmax())
+            ctx.matrix.scale(inst.uid, self.boost, cluster=target)
+            if ctx.ddg.instruction(address).home_cluster is None:
+                ctx.matrix.scale(address, self.boost, cluster=target)
+        ctx.matrix.normalize()
+
+
+def pointer_chains(chains: int = 4, length: int = 4) -> Program:
+    """Independent pointer-chasing chains: each load's address comes
+    from an increment, and the bank is unknown at compile time (so
+    congruence cannot preplace the loads — exactly when PAIR helps)."""
+    b = RegionBuilder("pairs")
+    stride = b.li(8, name="stride")
+    for c in range(chains):
+        addr = b.live_in(name=f"p{c}")
+        total = b.li(0.0)
+        for i in range(length):
+            addr = b.add(addr, stride, name=f"p{c}+{8 * (i + 1)}")
+            x = b.load(address=addr, bank=None, name=f"*p{c}[{i}]", array=f"buf{c}")
+            total = b.fadd(total, x)
+        b.live_out(total, name=f"sum{c}")
+    return Program("pairs", [b.build()])
+
+
+def pair_splits(schedule, region) -> int:
+    """Count (access, address) pairs split across clusters."""
+    splits = 0
+    for inst in region.ddg:
+        if inst.is_memory and inst.operands:
+            if schedule.cluster_of(inst.uid) != schedule.cluster_of(inst.operands[0]):
+                splits += 1
+    return splits
+
+
+#: A sequence that spreads work for parallelism but knows nothing about
+#: access/increment pairs.
+PAIR_BLIND = ["INITTIME", "NOISE", "LOAD", "LEVEL(stride=1, granularity=0)", "EMPHCP"]
+
+
+def main() -> None:
+    machine = ClusteredVLIW(4)
+    program = apply_congruence(pointer_chains(), machine)
+    region = program.regions[0]
+    total_pairs = sum(
+        1 for inst in region.ddg if inst.is_memory and inst.operands
+    )
+    print(region.ddg.summary())
+
+    baseline = ConvergentScheduler(passes=PAIR_BLIND).converge(region, machine)
+    simulate(region, machine, baseline.schedule)
+
+    with_pair = build_sequence(PAIR_BLIND[:-1]) + [
+        PairAffinity(),
+        build_sequence(PAIR_BLIND[-1:])[0],
+    ]
+    custom = ConvergentScheduler(passes=with_pair).converge(region, machine)
+    simulate(region, machine, custom.schedule)
+
+    print(f"\nwithout PAIR: {baseline.schedule.makespan} cycles, "
+          f"{pair_splits(baseline.schedule, region)}/{total_pairs} pairs split")
+    print(f"with PAIR:    {custom.schedule.makespan} cycles, "
+          f"{pair_splits(custom.schedule, region)}/{total_pairs} pairs split")
+    print("\nThe new heuristic needed no changes to any other pass — it "
+          "only reads and nudges the shared preference map.")
+
+
+if __name__ == "__main__":
+    main()

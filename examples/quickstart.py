@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a kernel with convergent scheduling.
+
+Builds a small dot-product region, binds its memory banks to a
+4-cluster VLIW via congruence analysis, runs the convergent scheduler,
+validates the schedule with the simulator, and prints the space-time
+schedule plus the converged cluster preference map.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import ClusteredVLIW, ConvergentScheduler, RegionBuilder
+from repro.analysis import analyze_bottleneck
+from repro.ir.regions import Program
+from repro.sim import simulate
+from repro.workloads import apply_congruence
+
+
+def build_dot_product(n: int = 8) -> Program:
+    """y = sum(a[i] * b[i]) with arrays interleaved over memory banks."""
+    b = RegionBuilder("dot8")
+    xs = [b.load(bank=i, name=f"a[{i}]", array="a") for i in range(n)]
+    ys = [b.load(bank=i, name=f"b[{i}]", array="b") for i in range(n)]
+    products = [b.fmul(x, y) for x, y in zip(xs, ys)]
+    b.live_out(b.reduce(products), name="y")
+    return Program("dot", [b.build()])
+
+
+def main() -> None:
+    machine = ClusteredVLIW(n_clusters=4)
+    program = apply_congruence(build_dot_product(), machine)
+    region = program.regions[0]
+    print(region.ddg.summary())
+
+    scheduler = ConvergentScheduler()
+    result = scheduler.converge(region, machine)
+
+    report = simulate(region, machine, result.schedule)
+    print(f"\nschedule: {report.cycles} cycles, {report.transfers} transfers, "
+          f"{report.utilization(machine):.0%} FU utilization")
+    print(f"dataflow verified: {report.values_checked} values match the "
+          f"reference interpreter\n")
+
+    print("space-time schedule (cycle x cluster):")
+    print(result.schedule.render(machine.n_clusters, max_cycles=24))
+
+    print("\nconverged cluster preferences (darker = weaker):")
+    print(result.matrix.render_cluster_map())
+
+    print("\nconvergence per pass:")
+    print(result.trace.render("dot8 on vliw4"))
+
+    print("\nwhat binds this schedule?")
+    print(analyze_bottleneck(region, machine, result.schedule).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""One kernel, two spatial architectures, four schedulers.
+
+Schedules the jacobi stencil on a 4x4 Raw mesh and a 4-cluster VLIW
+with every scheduler in the repository, showing how machine structure
+changes both the winner and the communication behaviour:
+
+* on Raw, memory banks are *hard* constraints and routes cost 3+ cycles,
+  so preplacement dominates partitioning quality;
+* on the VLIW, any cluster can reach any bank (1 cycle penalty) and
+  copies cost 1 cycle, so load balance matters more than locality.
+
+Run:
+    python examples/raw_vs_vliw.py
+"""
+
+from repro import ClusteredVLIW, ConvergentScheduler, RawMachine
+from repro.schedulers import (
+    PartialComponentClustering,
+    RawccScheduler,
+    UnifiedAssignAndSchedule,
+)
+from repro.sim import simulate
+from repro.workloads import build_benchmark
+
+
+def main() -> None:
+    machines = [RawMachine(4, 4), ClusteredVLIW(4)]
+    schedulers = [
+        ConvergentScheduler(),
+        RawccScheduler(),
+        UnifiedAssignAndSchedule(),
+        PartialComponentClustering(),
+    ]
+    for machine in machines:
+        program = build_benchmark("jacobi", machine)
+        region = program.regions[0]
+        print(f"\n=== {machine.name}: {region.ddg.summary()} ===")
+        print(f"{'scheduler':12s} {'cycles':>7s} {'xfers':>6s} {'util':>6s}")
+        for scheduler in schedulers:
+            schedule = scheduler.schedule(region, machine)
+            report = simulate(region, machine, schedule)
+            print(
+                f"{scheduler.name:12s} {report.cycles:7d} {report.transfers:6d} "
+                f"{report.utilization(machine):6.0%}"
+            )
+
+    print(
+        "\nNote how every scheduler pays more transfers on Raw (3-cycle "
+        "neighbour routes, hard bank homes) than on the VLIW (1-cycle "
+        "copies), and how the rankings differ between machines."
+    )
+
+
+if __name__ == "__main__":
+    main()

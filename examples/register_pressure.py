@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Register pressure as a scheduling constraint.
+
+The paper motivates convergent scheduling partly by register pressure:
+exposing more ILP lengthens live ranges, and a framework should weigh
+that against parallelism instead of ignoring it.  This example builds a
+register-hungry region (many long-lived values meeting in a reduction),
+schedules it on a machine with small register files, and compares:
+
+* the tuned sequence as-is,
+* the tuned sequence with the REGPRESS pass spliced in,
+* the CARS baseline (register-aware unified scheduling),
+
+reporting peak per-cluster pressure and the spills a linear-scan
+allocator would insert.
+
+Run:
+    python examples/register_pressure.py
+"""
+
+from repro import ClusteredVLIW, ConvergentScheduler, RegionBuilder
+from repro.core import TUNED_VLIW_SEQUENCE
+from repro.regalloc import allocate_registers, pressure_profile
+from repro.schedulers import UnifiedAssignAndSchedule
+from repro.schedulers.cars import CarsScheduler
+from repro.sim import simulate
+
+
+def register_hungry_region(n: int = 64):
+    """n long-lived constants folded by one reduction tree."""
+    b = RegionBuilder("hungry")
+    values = [b.li(float(i + 1)) for i in range(n)]
+    b.live_out(b.reduce(values), name="sum")
+    return b.build()
+
+
+def report(label, region, machine, schedule):
+    simulate(region, machine, schedule, check_values=False)
+    profile = pressure_profile(region, machine, schedule)
+    allocation = allocate_registers(region, machine, schedule)
+    print(
+        f"{label:22s} {schedule.makespan:4d} cycles   "
+        f"peak pressure {profile.peak():3d}   "
+        f"spills {allocation.spill_count:3d} "
+        f"(+{allocation.spill_cost_cycles} est. cycles)"
+    )
+
+
+def main() -> None:
+    machine = ClusteredVLIW(4, registers=6)  # deliberately starved
+    print(f"machine: {machine.name} with only "
+          f"{machine.clusters[0].registers} registers per cluster\n")
+
+    baseline = ConvergentScheduler().schedule(register_hungry_region(), machine)
+    report("convergent", register_hungry_region(), machine, baseline)
+
+    augmented_sequence = list(TUNED_VLIW_SEQUENCE[:-2]) + [
+        "REGPRESS(strength=6.0)",
+        *TUNED_VLIW_SEQUENCE[-2:],
+    ]
+    augmented = ConvergentScheduler(passes=augmented_sequence).schedule(
+        register_hungry_region(), machine
+    )
+    report("convergent + REGPRESS", register_hungry_region(), machine, augmented)
+
+    uas = UnifiedAssignAndSchedule().schedule(register_hungry_region(), machine)
+    report("uas", register_hungry_region(), machine, uas)
+
+    cars = CarsScheduler(register_weight=12.0, threshold=0.5).schedule(
+        register_hungry_region(), machine
+    )
+    report("cars", register_hungry_region(), machine, cars)
+
+    print(
+        "\nREGPRESS sees the whole preference distribution at once, so it "
+        "spreads long-lived values before any register file overflows — "
+        "fewest spills above.  The greedy schedulers decide one "
+        "instruction at a time: by the time a file looks full, the "
+        "long-lived values are already placed.  That is the paper's "
+        "argument for cooperative, revisable decisions in one sentence."
+    )
+
+
+if __name__ == "__main__":
+    main()

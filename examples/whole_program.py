@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Whole-program flow: CFG -> traces -> congruence -> schedules.
+
+The paper's compilers don't schedule isolated graphs: Rawcc "divides
+each input program into one or more scheduling traces" and values live
+across traces become preplaced.  This example runs that whole pipeline
+on a small program with control flow:
+
+    sum = 0
+    for i in ...:               # hot loop, 90% back edge
+        x = v[i]
+        if x > 0:  sum += x*x   # 75% taken
+        else:      sum += x
+    out = sqrt(sum)
+
+and schedules every trace region on a 2x2 Raw mesh.
+
+Run:
+    python examples/whole_program.py
+"""
+
+from repro.ir import ControlFlowGraph, Opcode, Stmt, form_traces, program_from_cfg
+from repro.core import ConvergentScheduler
+from repro.machine import RawMachine
+from repro.sim import simulate
+from repro.workloads import apply_congruence
+
+
+def build_cfg() -> ControlFlowGraph:
+    cfg = ControlFlowGraph("sumsq", entry="entry", inputs={"zero"})
+    entry = cfg.add_block("entry")
+    entry.add(Stmt("sum", Opcode.MOVE, ("zero",)))
+
+    head = cfg.add_block("loop")
+    head.add(Stmt("x", Opcode.LOAD, (), bank=0, array="v"))
+    head.add(Stmt("pos", Opcode.FCMP, ("zero", "x")))
+
+    hot = cfg.add_block("then")  # sum += x * x
+    hot.add(Stmt("sq", Opcode.FMUL, ("x", "x")))
+    hot.add(Stmt("sum2", Opcode.FADD, ("sum", "sq")))
+    hot.add(Stmt("sum", Opcode.MOVE, ("sum2",)))
+
+    cold = cfg.add_block("else")  # sum += x
+    cold.add(Stmt("sum3", Opcode.FADD, ("sum", "x")))
+    cold.add(Stmt("sum", Opcode.MOVE, ("sum3",)))
+
+    latch = cfg.add_block("latch")
+    latch.add(Stmt("t", Opcode.MOVE, ("sum",)))
+
+    done = cfg.add_block("exit")
+    done.add(Stmt("r", Opcode.FSQRT, ("sum",)))
+    done.add(Stmt(None, Opcode.STORE, ("r",), bank=1, array="out"))
+
+    cfg.add_edge("entry", "loop")
+    cfg.add_edge("loop", "then", 0.75)
+    cfg.add_edge("loop", "else", 0.25)
+    cfg.add_edge("then", "latch")
+    cfg.add_edge("else", "latch")
+    cfg.add_edge("latch", "loop", 0.9)
+    cfg.add_edge("latch", "exit", 0.1)
+    cfg.propagate_frequencies(entry_count=1.0)
+    return cfg
+
+
+def main() -> None:
+    cfg = build_cfg()
+    print("traces (hottest first):")
+    for trace in form_traces(cfg):
+        freq = cfg.frequency(trace[0])
+        print(f"  {' -> '.join(trace)}   (executes ~{freq:.1f}x)")
+
+    program = program_from_cfg(cfg)
+    machine = RawMachine(2, 2)
+    apply_congruence(program, machine)
+
+    total = 0
+    scheduler = ConvergentScheduler()
+    print(f"\nscheduling {len(program.regions)} regions on {machine.name}:")
+    for region in program.regions:
+        schedule = scheduler.schedule(region, machine)
+        report = simulate(region, machine, schedule)
+        weighted = report.cycles * region.trip_count
+        total += weighted
+        pins = sum(1 for i in region.ddg if i.preplaced)
+        print(
+            f"  {region.name:30s} {len(region.ddg):3d} instrs "
+            f"({pins} preplaced)  {report.cycles:3d} cycles x {region.trip_count}"
+        )
+    print(f"\nestimated whole-program cycles: {total}")
+    print("cross-trace values (sum, x) became preplaced pseudo-instructions,")
+    print("which is exactly how the paper's preplacement constraints arise.")
+
+
+if __name__ == "__main__":
+    main()

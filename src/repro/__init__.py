@@ -1,0 +1,51 @@
+"""Convergent scheduling for spatial architectures.
+
+A from-scratch reproduction of *Convergent Scheduling* (Lee, Puppin,
+Swenson, Amarasinghe — MICRO-35, 2002): a preference-map scheduling
+framework for cluster assignment and instruction scheduling on spatial
+architectures, evaluated against UAS, PCC, and a Rawcc-style space-time
+scheduler on clustered-VLIW and Raw-mesh machine models.
+
+Quickstart::
+
+    from repro import ConvergentScheduler, ClusteredVLIW
+    from repro.workloads import build_benchmark
+
+    machine = ClusteredVLIW(n_clusters=4)
+    program = build_benchmark("mxm", machine)
+    scheduler = ConvergentScheduler()
+    schedule = scheduler.schedule(program.regions[0], machine)
+    print(schedule.makespan)
+"""
+
+from .core import ConvergentResult, ConvergentScheduler, PreferenceMatrix
+from .ir import (
+    DataDependenceGraph,
+    Instruction,
+    LatencyModel,
+    Opcode,
+    Program,
+    Region,
+    RegionBuilder,
+)
+from .machine import ClusteredVLIW, Machine, RawMachine, raw_with_tiles
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusteredVLIW",
+    "ConvergentResult",
+    "ConvergentScheduler",
+    "DataDependenceGraph",
+    "Instruction",
+    "LatencyModel",
+    "Machine",
+    "Opcode",
+    "PreferenceMatrix",
+    "Program",
+    "RawMachine",
+    "Region",
+    "RegionBuilder",
+    "raw_with_tiles",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Dependence-graph analyses and schedule bottleneck attribution."""
+
+from .bottleneck import BottleneckReport, analyze_bottleneck
+from .graph_stats import GraphShape, graph_shape, slack_histogram, width_profile
+
+__all__ = [
+    "BottleneckReport",
+    "GraphShape",
+    "analyze_bottleneck",
+    "graph_shape",
+    "slack_histogram",
+    "width_profile",
+]

@@ -1,0 +1,260 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the library without writing code:
+
+* ``list`` — benchmarks, passes, machines, schedulers;
+* ``schedule`` — schedule one benchmark, validate it, print the result;
+* ``table2`` / ``fig6`` / ``fig8`` / ``fig10`` / ``convergence`` —
+  regenerate the paper's tables and figures;
+* ``search`` — hill-climb a pass sequence for a machine on a training
+  set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import List, Optional, Sequence
+
+from .core import ConvergentScheduler, PASS_REGISTRY, sequence_for_machine
+from .core.search import search_sequence_for
+from .harness import (
+    compile_time_scaling,
+    convergence_study,
+    raw_speedups,
+    run_program,
+    save_result,
+    vliw_speedups,
+)
+from .machine import ClusteredVLIW, Machine, RawMachine, raw_with_tiles
+from .schedulers import (
+    CarsScheduler,
+    SimulatedAnnealingScheduler,
+    PartialComponentClustering,
+    RawccScheduler,
+    SingleClusterScheduler,
+    UnifiedAssignAndSchedule,
+)
+from .sim import simulate
+from .workloads import KERNELS, RAW_SUITE, VLIW_SUITE, build_benchmark
+
+SCHEDULERS = {
+    "anneal": SimulatedAnnealingScheduler,
+    "cars": CarsScheduler,
+    "convergent": ConvergentScheduler,
+    "uas": UnifiedAssignAndSchedule,
+    "pcc": PartialComponentClustering,
+    "rawcc": RawccScheduler,
+    "single": SingleClusterScheduler,
+}
+
+
+def parse_machine(spec: str) -> Machine:
+    """Parse a machine spec: ``vliw4``, ``raw4x4``, or ``raw16``."""
+    match = re.fullmatch(r"vliw(\d+)", spec)
+    if match:
+        return ClusteredVLIW(int(match.group(1)))
+    match = re.fullmatch(r"raw(\d+)x(\d+)", spec)
+    if match:
+        return RawMachine(int(match.group(1)), int(match.group(2)))
+    match = re.fullmatch(r"raw(\d+)", spec)
+    if match:
+        return raw_with_tiles(int(match.group(1)))
+    raise argparse.ArgumentTypeError(
+        f"unknown machine {spec!r}; expected vliwN, rawN, or rawRxC"
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks (raw suite):  " + " ".join(RAW_SUITE))
+    print("benchmarks (vliw suite): " + " ".join(VLIW_SUITE))
+    extras = sorted(set(KERNELS) - set(RAW_SUITE) - set(VLIW_SUITE))
+    if extras:
+        print("benchmarks (extra):      " + " ".join(extras))
+    print("passes:     " + " ".join(sorted(PASS_REGISTRY)))
+    print("schedulers: " + " ".join(sorted(SCHEDULERS)))
+    print("machines:   vliwN | rawN | rawRxC   (e.g. vliw4, raw16, raw2x4)")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    machine = parse_machine(args.machine)
+    program = build_benchmark(args.benchmark, machine)
+    scheduler = SCHEDULERS[args.scheduler]()
+    if args.scheduler == "convergent" and args.seed is not None:
+        scheduler = ConvergentScheduler(seed=args.seed)
+    result = run_program(program, machine, scheduler)
+    print(
+        f"{args.benchmark} on {machine.name} with {args.scheduler}: "
+        f"{result.cycles} cycles, {result.transfers} transfers, "
+        f"compiled in {result.compile_seconds * 1000:.1f} ms"
+    )
+    if args.render:
+        region = program.regions[0]
+        schedule = scheduler.schedule(region, machine)
+        simulate(region, machine, schedule)
+        print(schedule.render(machine.n_clusters, max_cycles=args.max_cycles))
+    return 0
+
+
+def _split(text: Optional[str], cast=str) -> Optional[List]:
+    return [cast(x) for x in text.split(",")] if text else None
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    table = raw_speedups(
+        benchmarks=_split(args.benchmarks) or RAW_SUITE,
+        sizes=_split(args.sizes, int) or (2, 4, 8, 16),
+        check_values=not args.fast,
+    )
+    print(table.render("Table 2: speedup relative to one Raw tile"))
+    for n in table.sizes:
+        print(
+            f"  convergent over rawcc at {n:2d} tiles: "
+            f"{100 * table.improvement('convergent', 'rawcc', n):+.1f}%"
+        )
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    table = vliw_speedups(
+        benchmarks=_split(args.benchmarks) or VLIW_SUITE,
+        check_values=not args.fast,
+    )
+    print(table.render("Figure 8: speedup on a 4-cluster VLIW vs 1 cluster"))
+    print(f"  convergent over uas: {100 * table.improvement('convergent', 'uas', 4):+.1f}%")
+    print(f"  convergent over pcc: {100 * table.improvement('convergent', 'pcc', 4):+.1f}%")
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    result = compile_time_scaling(
+        sizes=_split(args.sizes, int) or (50, 100, 200, 400, 800, 1600)
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_convergence(args: argparse.Namespace) -> int:
+    machine = parse_machine(args.machine)
+    suite = RAW_SUITE if machine.name.startswith("raw") else VLIW_SUITE
+    study = convergence_study(machine, _split(args.benchmarks) or suite)
+    print(study.render())
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    machine = parse_machine(args.machine)
+    names = _split(args.benchmarks) or ["vvmul", "yuv"]
+    regions = [build_benchmark(n, machine).regions[0] for n in names]
+    result = search_sequence_for(
+        machine, regions, iterations=args.iterations, seed=args.seed or 0
+    )
+    baseline = result.history[0][1]
+    print(f"start : {result.history[0][0]}  score {baseline:.0f}")
+    print(f"best  : {result.best_sequence}  score {result.best_score:.0f}")
+    if baseline > 0:
+        print(f"improvement: {100 * (1 - result.best_score / baseline):+.1f}% "
+              f"({result.evaluations} evaluations)")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    """Regenerate every table and figure; optionally save JSON results."""
+    from pathlib import Path
+
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    def emit(name: str, result, text: str) -> None:
+        print(text)
+        print()
+        if out_dir is not None:
+            save_result(result, out_dir / f"{name}.json")
+
+    sizes = _split(args.sizes, int) or (2, 4, 8, 16)
+    table2 = raw_speedups(benchmarks=RAW_SUITE, sizes=sizes, check_values=False)
+    emit("table2", table2, table2.render("Table 2: speedup vs one Raw tile"))
+    fig8 = vliw_speedups(benchmarks=VLIW_SUITE, check_values=False)
+    emit("fig8", fig8, fig8.render("Figure 8: 4-cluster VLIW speedups"))
+    fig7 = convergence_study(raw_with_tiles(16), RAW_SUITE)
+    emit("fig7", fig7, fig7.render("Figure 7: convergence on Raw"))
+    fig9 = convergence_study(ClusteredVLIW(4), VLIW_SUITE)
+    emit("fig9", fig9, fig9.render("Figure 9: convergence on Chorus"))
+    fig10 = compile_time_scaling(sizes=_split(args.scaling_sizes, int) or (50, 100, 200, 400, 800))
+    emit("fig10", fig10, fig10.render())
+    if out_dir is not None:
+        print(f"results saved under {out_dir}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Convergent scheduling (MICRO-35 2002) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, passes, schedulers, machines")
+
+    schedule = sub.add_parser("schedule", help="schedule one benchmark")
+    schedule.add_argument("--benchmark", required=True, choices=sorted(KERNELS))
+    schedule.add_argument("--machine", default="vliw4")
+    schedule.add_argument("--scheduler", default="convergent", choices=sorted(SCHEDULERS))
+    schedule.add_argument("--seed", type=int, default=None)
+    schedule.add_argument("--render", action="store_true", help="print the timeline")
+    schedule.add_argument("--max-cycles", type=int, default=48)
+
+    table2 = sub.add_parser("table2", help="Rawcc vs convergent speedups")
+    table2.add_argument("--benchmarks", help="comma-separated subset")
+    table2.add_argument("--sizes", help="comma-separated tile counts")
+    table2.add_argument("--fast", action="store_true", help="skip dataflow replay")
+
+    fig8 = sub.add_parser("fig8", help="PCC vs UAS vs convergent on VLIW")
+    fig8.add_argument("--benchmarks")
+    fig8.add_argument("--fast", action="store_true")
+
+    fig10 = sub.add_parser("fig10", help="compile-time scaling")
+    fig10.add_argument("--sizes")
+
+    conv = sub.add_parser("convergence", help="per-pass assignment churn")
+    conv.add_argument("--machine", default="raw4x4")
+    conv.add_argument("--benchmarks")
+
+    run_all = sub.add_parser("all", help="regenerate every table and figure")
+    run_all.add_argument("--out", help="directory for JSON result files")
+    run_all.add_argument("--sizes", help="tile counts for table2")
+    run_all.add_argument("--scaling-sizes", help="graph sizes for fig10")
+
+    search = sub.add_parser("search", help="hill-climb a pass sequence")
+    search.add_argument("--machine", default="vliw4")
+    search.add_argument("--benchmarks")
+    search.add_argument("--iterations", type=int, default=40)
+    search.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "all": _cmd_all,
+    "list": _cmd_list,
+    "schedule": _cmd_schedule,
+    "table2": _cmd_table2,
+    "fig8": _cmd_fig8,
+    "fig10": _cmd_fig10,
+    "convergence": _cmd_convergence,
+    "search": _cmd_search,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Convergent scheduling: preference matrix, passes, driver, sequences."""
+
+from .convergent import ConvergentResult, ConvergentScheduler
+from .metrics import ConvergenceTrace, PassRecord, TEMPORAL_ONLY_PASSES
+from .passes import PASS_REGISTRY, PassContext, SchedulingPass, make_pass
+from .sequences import (
+    RAW_SEQUENCE,
+    TUNED_RAW_SEQUENCE,
+    TUNED_VLIW_SEQUENCE,
+    VLIW_SEQUENCE,
+    build_sequence,
+    sequence_for_machine,
+)
+from .weights import PreferenceMatrix
+
+__all__ = [
+    "ConvergenceTrace",
+    "ConvergentResult",
+    "ConvergentScheduler",
+    "PASS_REGISTRY",
+    "PassContext",
+    "PassRecord",
+    "PreferenceMatrix",
+    "RAW_SEQUENCE",
+    "TUNED_RAW_SEQUENCE",
+    "TUNED_VLIW_SEQUENCE",
+    "SchedulingPass",
+    "TEMPORAL_ONLY_PASSES",
+    "VLIW_SEQUENCE",
+    "build_sequence",
+    "make_pass",
+    "sequence_for_machine",
+]

@@ -1,0 +1,177 @@
+"""The convergent scheduler driver.
+
+Runs a sequence of independent heuristics over the shared preference
+matrix (Section 2 of the paper), then hands the converged result to the
+list scheduler:
+
+* the **spatial assignment** is each instruction's preferred cluster,
+  restricted to its feasible set (preplacement and functional-unit
+  constraints always win — they are correctness constraints);
+* the **preferred time** becomes the instruction's list-scheduling
+  priority on Chorus; on Raw, matching the paper, temporal priorities
+  are recomputed by the list scheduler itself (critical-path order).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from ..schedulers.base import Scheduler
+from ..schedulers.list_scheduler import ListScheduler, feasible_clusters
+from ..schedulers.schedule import Schedule
+from .metrics import ConvergenceTrace
+from .passes import PassContext, SchedulingPass, make_pass
+from .sequences import sequence_for_machine
+from .weights import PreferenceMatrix
+
+
+@dataclass
+class ConvergentResult:
+    """Everything the convergent scheduler produced for one region."""
+
+    schedule: Schedule
+    assignment: Dict[int, int]
+    priorities: Optional[Dict[int, int]]
+    matrix: PreferenceMatrix
+    trace: ConvergenceTrace
+
+
+class ConvergentScheduler(Scheduler):
+    """Convergent scheduling (Lee, Puppin, Swenson, Amarasinghe 2002).
+
+    Args:
+        passes: Pass sequence — Table-1 names or pass instances.  When
+            ``None``, the published sequence for the target machine is
+            used (:mod:`repro.core.sequences`).
+        seed: Base seed for the NOISE pass; combined with the region name
+            so every region draws an independent but reproducible stream.
+        use_preferred_times: Feed converged times to the list scheduler
+            as priorities.  Default (``None``) follows the paper: yes on
+            Chorus, no on Raw (Rawcc recomputes its own temporal order).
+        keep_snapshots: Retain a matrix copy after every pass, enabling
+            Figure-4 style preference-map rendering.
+        check_invariants: Validate the matrix invariants after every
+            pass (useful in tests; small overhead).
+        iterations: Apply the pass sequence this many times.  The paper
+            calls out repeated/iterative application as a framework
+            feature ("useful to provide feedback between phases and to
+            avoid phase ordering problems"); INITTIME runs only in the
+            first round, since feasibility never changes.
+    """
+
+    name = "convergent"
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[Union[str, SchedulingPass]]] = None,
+        seed: int = 0,
+        use_preferred_times: Optional[bool] = None,
+        keep_snapshots: bool = False,
+        check_invariants: bool = False,
+        iterations: int = 1,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self._passes_spec = passes
+        self.seed = seed
+        self.use_preferred_times = use_preferred_times
+        self.keep_snapshots = keep_snapshots
+        self.check_invariants = check_invariants
+        self.iterations = iterations
+        self.last_result: Optional[ConvergentResult] = None
+
+    # ------------------------------------------------------------------
+
+    def _build_passes(self, machine: Machine) -> List[SchedulingPass]:
+        spec = self._passes_spec
+        if spec is None:
+            try:
+                spec = sequence_for_machine(machine.name)
+            except KeyError:
+                # Custom machine model: fall back to the generic order.
+                from .sequences import GENERIC_SEQUENCE
+
+                spec = GENERIC_SEQUENCE
+        return [p if isinstance(p, SchedulingPass) else make_pass(p) for p in spec]
+
+    def _region_rng(self, region: Region) -> np.random.Generator:
+        mix = zlib.crc32(region.name.encode("utf-8"))
+        return np.random.default_rng((self.seed << 32) ^ mix)
+
+    def converge(self, region: Region, machine: Machine) -> ConvergentResult:
+        """Run the pass sequence and the final list scheduling step.
+
+        Returns the full :class:`ConvergentResult`, including the
+        converged matrix and the per-pass convergence trace.
+        """
+        ddg = region.ddg
+        matrix = PreferenceMatrix.for_region(ddg, machine.n_clusters)
+        trace = ConvergenceTrace(keep_snapshots=self.keep_snapshots)
+        trace.observe_initial(matrix)
+        ctx = PassContext(
+            ddg=ddg, machine=machine, matrix=matrix, rng=self._region_rng(region)
+        )
+        passes = self._build_passes(machine)
+        for round_index in range(self.iterations):
+            for scheduling_pass in passes:
+                if round_index > 0 and scheduling_pass.name == "INITTIME":
+                    continue  # feasibility never changes after round one
+                scheduling_pass.apply(ctx)
+                matrix.normalize()
+                if self.check_invariants:
+                    matrix.check_invariants()
+                trace.observe_pass(scheduling_pass.name, matrix)
+
+        assignment = self.extract_assignment(matrix, region, machine)
+        prefer_times = self.use_preferred_times
+        if prefer_times is None:
+            prefer_times = machine.name.startswith("vliw")
+        priorities: Optional[Dict[int, int]] = None
+        if prefer_times:
+            priorities = {i: t for i, t in enumerate(matrix.preferred_times())}
+
+        scheduler = ListScheduler(name=self.name)
+        schedule = scheduler.schedule(
+            region, machine, assignment=assignment, priorities=priorities
+        )
+        result = ConvergentResult(
+            schedule=schedule,
+            assignment=assignment,
+            priorities=priorities,
+            matrix=matrix,
+            trace=trace,
+        )
+        self.last_result = result
+        return result
+
+    @staticmethod
+    def extract_assignment(
+        matrix: PreferenceMatrix, region: Region, machine: Machine
+    ) -> Dict[int, int]:
+        """Preferred cluster per instruction, restricted to feasibility.
+
+        The weight matrix *should* already respect hard constraints
+        (INITTIME squashes infeasible clusters, PLACE boosts homes by
+        x100), but extraction re-checks them so a mis-tuned pass
+        sequence can degrade performance, never correctness.
+        """
+        marginals = matrix.cluster_marginals()
+        assignment: Dict[int, int] = {}
+        for inst in region.ddg:
+            feasible = feasible_clusters(inst, machine)
+            assignment[inst.uid] = max(
+                feasible, key=lambda c: (marginals[inst.uid][c], -c)
+            )
+        return assignment
+
+    # ------------------------------------------------------------------
+
+    def schedule(self, region: Region, machine: Machine) -> Schedule:
+        """The plain :class:`~repro.schedulers.base.Scheduler` interface."""
+        return self.converge(region, machine).schedule

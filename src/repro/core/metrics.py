@@ -1,0 +1,92 @@
+"""Convergence instrumentation (Figures 4, 7, and 9).
+
+The tracker snapshots the preference matrix after every pass and
+records, per pass, the fraction of instructions whose *preferred
+cluster* changed — the metric plotted in the paper's Figures 7 and 9.
+It can also retain full matrix copies to render Figure-4 style
+preference-map frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .weights import PreferenceMatrix
+
+
+@dataclass
+class PassRecord:
+    """Convergence data for one executed pass.
+
+    Attributes:
+        pass_name: Table-1 name of the pass.
+        changed_fraction: Fraction of instructions whose preferred
+            cluster differs from before the pass.
+        spatial_only: True if the pass may change spatial preferences
+            (Figures 7/9 exclude passes that only touch time).
+        snapshot: Full matrix copy, when snapshotting is enabled.
+    """
+
+    pass_name: str
+    changed_fraction: float
+    spatial_only: bool = True
+    snapshot: Optional[PreferenceMatrix] = None
+
+
+#: Passes that only modify temporal preferences; the paper's convergence
+#: plots exclude them.
+TEMPORAL_ONLY_PASSES = frozenset({"INITTIME", "EMPHCP"})
+
+
+@dataclass
+class ConvergenceTrace:
+    """Preferred-cluster churn across a pass sequence."""
+
+    records: List[PassRecord] = field(default_factory=list)
+    keep_snapshots: bool = False
+    _last_preferred: Optional[List[int]] = None
+
+    def observe_initial(self, matrix: PreferenceMatrix) -> None:
+        """Record the preferred clusters before any pass runs."""
+        self._last_preferred = matrix.preferred_clusters()
+        if self.keep_snapshots:
+            self.records.append(
+                PassRecord("initial", 0.0, snapshot=matrix.copy())
+            )
+
+    def observe_pass(self, pass_name: str, matrix: PreferenceMatrix) -> PassRecord:
+        """Record churn caused by the pass that just ran."""
+        preferred = matrix.preferred_clusters()
+        if self._last_preferred is None or not preferred:
+            changed = 0.0
+        else:
+            changed = sum(
+                1 for a, b in zip(self._last_preferred, preferred) if a != b
+            ) / len(preferred)
+        self._last_preferred = preferred
+        record = PassRecord(
+            pass_name=pass_name,
+            changed_fraction=changed,
+            spatial_only=pass_name not in TEMPORAL_ONLY_PASSES,
+            snapshot=matrix.copy() if self.keep_snapshots else None,
+        )
+        self.records.append(record)
+        return record
+
+    def spatial_records(self) -> List[PassRecord]:
+        """Records for spatially active passes (the Figure 7/9 series)."""
+        return [r for r in self.records if r.spatial_only and r.pass_name != "initial"]
+
+    def series(self) -> List[float]:
+        """The changed-fraction series for spatially active passes."""
+        return [r.changed_fraction for r in self.spatial_records()]
+
+    def render(self, label: str = "") -> str:
+        """ASCII sparkline of the convergence series."""
+        records = self.spatial_records()
+        lines = [f"convergence {label}".rstrip()]
+        for r in records:
+            bar = "#" * int(round(r.changed_fraction * 40))
+            lines.append(f"  {r.pass_name:10s} {r.changed_fraction:6.2%} |{bar}")
+        return "\n".join(lines)

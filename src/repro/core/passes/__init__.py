@@ -1,0 +1,90 @@
+"""The collection of convergent scheduling heuristics (paper Section 4).
+
+Every pass communicates with the others only through the shared
+preference matrix.  :data:`PASS_REGISTRY` maps the paper's Table-1 names
+to constructors so pass sequences can be specified as plain strings.
+"""
+
+from typing import Callable, Dict
+
+from .base import PassContext, SchedulingPass, expected_cluster_load
+from .basic import EmphasizeCriticalPathDistance, First, InitTime, Noise, Place
+from .propagate import LevelDistribute, PathPropagate
+from .regpress import RegisterPressure
+from .spatial import (
+    CommunicationMinimize,
+    CriticalPathStrengthen,
+    LoadBalance,
+    PreplacementPropagate,
+)
+
+#: Table-1 pass name -> zero-argument constructor with paper defaults.
+PASS_REGISTRY: Dict[str, Callable[[], SchedulingPass]] = {
+    "INITTIME": InitTime,
+    "NOISE": Noise,
+    "PLACE": Place,
+    "FIRST": First,
+    "PATH": CriticalPathStrengthen,
+    "COMM": CommunicationMinimize,
+    "PLACEPROP": PreplacementPropagate,
+    "LOAD": LoadBalance,
+    "LEVEL": LevelDistribute,
+    "PATHPROP": PathPropagate,
+    "REGPRESS": RegisterPressure,
+    "EMPHCP": EmphasizeCriticalPathDistance,
+}
+
+
+def make_pass(spec: str) -> SchedulingPass:
+    """Instantiate a pass from a spec string.
+
+    A spec is a Table-1 name, case-insensitive, optionally followed by
+    keyword arguments in parentheses::
+
+        make_pass("COMM")
+        make_pass("LEVEL(stride=2, granularity=1)")
+        make_pass("NOISE(amount=0.5)")
+
+    Argument values may be integers or floats.
+    """
+    spec = spec.strip()
+    name, _, arg_text = spec.partition("(")
+    kwargs = {}
+    if arg_text:
+        if not spec.endswith(")"):
+            raise ValueError(f"malformed pass spec {spec!r}")
+        for item in arg_text[:-1].split(","):
+            if not item.strip():
+                continue
+            key, _, value = item.partition("=")
+            if not value:
+                raise ValueError(f"malformed argument {item!r} in pass spec {spec!r}")
+            text = value.strip()
+            kwargs[key.strip()] = float(text) if "." in text else int(text)
+    try:
+        constructor = PASS_REGISTRY[name.strip().upper()]
+    except KeyError:
+        known = ", ".join(sorted(PASS_REGISTRY))
+        raise KeyError(f"unknown pass {name!r}; known passes: {known}") from None
+    return constructor(**kwargs)
+
+
+__all__ = [
+    "CommunicationMinimize",
+    "CriticalPathStrengthen",
+    "EmphasizeCriticalPathDistance",
+    "First",
+    "InitTime",
+    "LevelDistribute",
+    "LoadBalance",
+    "Noise",
+    "PASS_REGISTRY",
+    "PassContext",
+    "PathPropagate",
+    "Place",
+    "PreplacementPropagate",
+    "RegisterPressure",
+    "SchedulingPass",
+    "expected_cluster_load",
+    "make_pass",
+]

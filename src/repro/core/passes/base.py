@@ -1,0 +1,71 @@
+"""Pass infrastructure for convergent scheduling.
+
+Every heuristic is a :class:`SchedulingPass` whose only means of
+communication with other passes is the shared
+:class:`~repro.core.weights.PreferenceMatrix` — the paper's key
+architectural idea.  A pass receives a :class:`PassContext` with the
+dependence graph, the machine model, the matrix, and a seeded random
+generator, mutates preferences, and returns.  The driver normalizes the
+matrix after every pass so the two invariants always hold between
+passes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...ir.ddg import DataDependenceGraph
+from ...machine.machine import Machine
+from ..weights import PreferenceMatrix
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may look at.
+
+    Attributes:
+        ddg: The region's dependence graph (read-only by convention).
+        machine: The target machine model.
+        matrix: The shared preference matrix the pass mutates.
+        rng: Seeded generator; the only sanctioned source of randomness,
+            so whole experiments replay deterministically.
+    """
+
+    ddg: DataDependenceGraph
+    machine: Machine
+    matrix: PreferenceMatrix
+    rng: np.random.Generator
+
+
+class SchedulingPass(abc.ABC):
+    """One independent heuristic in the convergent scheduler."""
+
+    #: Short upper-case name, as used in the paper's Table 1.
+    name: str = "PASS"
+
+    @abc.abstractmethod
+    def apply(self, ctx: PassContext) -> None:
+        """Adjust preferences in ``ctx.matrix``.
+
+        Passes must not assume anything about which passes ran before
+        them; the matrix is their entire view of prior decisions.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def expected_cluster_load(matrix: PreferenceMatrix) -> np.ndarray:
+    """Expected number of instructions per cluster under the current
+    preferences: the sum of every instruction's cluster marginal.
+
+    A smooth load measure shared by LOAD and PATH; unlike counting
+    preferred clusters it responds to partial preferences.
+    """
+    marg = matrix.cluster_marginals()
+    if matrix.n_instructions == 0:
+        return np.zeros(matrix.n_clusters)
+    return marg.sum(axis=0)

@@ -1,0 +1,136 @@
+"""Foundation passes: INITTIME, NOISE, PLACE, FIRST, EMPHCP.
+
+These are the paper's simplest heuristics: they establish time-slot
+feasibility, break symmetry, pin preplaced instructions, bias the first
+cluster (a Chorus convention), and sharpen each instruction's level as
+its likely issue time.
+"""
+
+from __future__ import annotations
+
+from ...ir.opcode import FuncClass
+from ...schedulers.list_scheduler import feasible_clusters
+from .base import PassContext, SchedulingPass
+
+
+class InitTime(SchedulingPass):
+    """INITTIME: squash infeasible time slots and clusters.
+
+    An instruction cannot issue before its longest predecessor chain
+    (``lp``) nor later than ``CPL - 1 - ls`` where ``ls`` is its longest
+    successor chain; weights outside ``[lp, CPL-1-ls]`` are zeroed.  As
+    the paper notes, the same squashing handles clusters that cannot
+    execute an instruction at all (missing functional unit, hard memory
+    affinity), so that is folded in here.
+    """
+
+    name = "INITTIME"
+
+    def apply(self, ctx: PassContext) -> None:
+        est = ctx.ddg.earliest_start()
+        tail = ctx.ddg.tail_length()
+        cpl = ctx.ddg.critical_path_length()
+        horizon = ctx.matrix.n_time_slots
+        for i in range(len(ctx.ddg)):
+            first = min(est[i], horizon - 1)
+            last = max(min(cpl - 1 - tail[i], horizon - 1), first)
+            ctx.matrix.squash_time_outside(i, first, last)
+        for inst in ctx.ddg:
+            feasible = set(feasible_clusters(inst, ctx.machine))
+            for c in range(ctx.machine.n_clusters):
+                if c not in feasible:
+                    ctx.matrix.squash_cluster(inst.uid, c)
+        ctx.matrix.normalize()
+
+
+class Noise(SchedulingPass):
+    """NOISE: add a little randomness to break symmetry.
+
+    The paper adds ``rand()/RAND_MAX`` to every weight.  Because our
+    weights are normalized (each is on the order of ``1/(C*T)``), raw
+    uniform noise would drown the signal, so the noise is scaled by each
+    instruction's mean weight; ``amount=1.0`` then matches the paper's
+    signal-to-noise ratio at the point it is applied (right after
+    INITTIME, when the distribution is still near uniform).
+
+    Zero-weight slots stay zero so feasibility squashing survives.
+    """
+
+    name = "NOISE"
+
+    def __init__(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("noise amount must be non-negative")
+        self.amount = amount
+
+    def apply(self, ctx: PassContext) -> None:
+        w = ctx.matrix.data
+        if w.size == 0:
+            return
+        mean = w.sum(axis=(1, 2), keepdims=True) / max(
+            1, ctx.matrix.n_clusters * ctx.matrix.n_time_slots
+        )
+        noise = ctx.rng.random(w.shape) * self.amount * mean
+        w += noise * (w > 0.0)
+        ctx.matrix.touch()
+        ctx.matrix.normalize()
+
+
+class Place(SchedulingPass):
+    """PLACE: strongly attract preplaced instructions to their homes.
+
+    Preplacement is a *correctness* constraint, so the boost is large
+    (x100 in the paper).
+    """
+
+    name = "PLACE"
+
+    def __init__(self, boost: float = 100.0) -> None:
+        self.boost = boost
+
+    def apply(self, ctx: PassContext) -> None:
+        for uid in ctx.ddg.preplaced():
+            home = ctx.ddg.instruction(uid).home_cluster
+            ctx.matrix.scale(uid, self.boost, cluster=home)
+        ctx.matrix.normalize()
+
+
+class First(SchedulingPass):
+    """FIRST: prefer the first cluster, where Chorus keeps live data.
+
+    In the Chorus clustered VLIW all values live across scheduling
+    regions sit in cluster 0 at region entry, so work placed there avoids
+    copies.  Boost factor 1.2 per the paper.
+    """
+
+    name = "FIRST"
+
+    def __init__(self, boost: float = 1.2) -> None:
+        self.boost = boost
+
+    def apply(self, ctx: PassContext) -> None:
+        for i in range(len(ctx.ddg)):
+            ctx.matrix.scale(i, self.boost, cluster=0)
+        ctx.matrix.normalize()
+
+
+class EmphasizeCriticalPathDistance(SchedulingPass):
+    """EMPHCP: nudge each instruction toward its level's time slot.
+
+    ``level(i)`` is when the instruction would issue on a machine with
+    infinite resources, so emphasizing it helps the time dimension
+    converge.  Boost factor 1.2 per the paper.
+    """
+
+    name = "EMPHCP"
+
+    def __init__(self, boost: float = 1.2) -> None:
+        self.boost = boost
+
+    def apply(self, ctx: PassContext) -> None:
+        levels = ctx.ddg.levels()
+        horizon = ctx.matrix.n_time_slots
+        for i in range(len(ctx.ddg)):
+            slot = min(levels[i], horizon - 1)
+            ctx.matrix.scale(i, self.boost, time=slot)
+        ctx.matrix.normalize()

@@ -1,0 +1,232 @@
+"""Distribution and propagation heuristics: LEVEL and PATHPROP.
+
+LEVEL spreads each level's instructions across clusters for parallelism
+while keeping nearby instructions together; PATHPROP lets instructions
+the scheduler is confident about pull their dependence paths along.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .base import PassContext, SchedulingPass
+
+
+class LevelDistribute(SchedulingPass):
+    """LEVEL: distribute the instructions of each level band over bins.
+
+    Levels are grouped into bands of ``stride`` consecutive levels (the
+    paper applies the pass every four levels on Raw — four levels being
+    roughly the smallest parallelism granularity Raw exploits profitably
+    given its communication cost).  Within a band:
+
+    1. One bin per cluster is seeded with the band's instructions that
+       already prefer that cluster with confidence above ``threshold``.
+    2. Remaining instructions that sit further than granularity ``g``
+       from every bin are dealt to bins round-robin; each bin takes the
+       candidate *closest* to it (the pseudocode's ``iclosest``; its
+       ``argmax`` is read as the evident typo for argmin, since the
+       pass's stated second goal is keeping nearby instructions
+       together).
+    3. Instructions within ``g`` of an existing bin join their closest
+       bin, avoiding gratuitous communication.
+
+    Each instruction's weight toward its bin's cluster is then boosted.
+    """
+
+    name = "LEVEL"
+
+    def __init__(
+        self,
+        stride: int = 4,
+        granularity: int = 2,
+        threshold: float = 2.0,
+        boost: float = 3.0,
+    ) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        self.granularity = granularity
+        self.threshold = threshold
+        self.boost = boost
+
+    def apply(self, ctx: PassContext) -> None:
+        levels = ctx.ddg.levels()
+        if not levels:
+            return
+        max_level = max(levels)
+        confidences = ctx.matrix.confidences()
+        preferred = ctx.matrix.preferred_clusters()
+        for band_start in range(0, max_level + 1, self.stride):
+            # Pseudo instructions are excluded: they occupy no issue
+            # slot, and a preplaced live-in is only a register location
+            # (one cheap copy moves it), so letting it anchor a bin
+            # drags real work toward its cluster for no benefit.
+            # Preplaced *memory* operations in the band are genuine
+            # spatial anchors and seed their home bin below.
+            band = [
+                i
+                for i in range(len(ctx.ddg))
+                if band_start <= levels[i] < band_start + self.stride
+                and not ctx.ddg.instruction(i).is_pseudo
+            ]
+            if len(band) > 1:
+                self._distribute_band(ctx, band, confidences, preferred)
+        ctx.matrix.normalize()
+
+    def _distribute_band(
+        self,
+        ctx: PassContext,
+        band: Sequence[int],
+        confidences: np.ndarray,
+        preferred: Sequence[int],
+    ) -> None:
+        n_bins = ctx.machine.n_clusters
+        bins: List[List[int]] = [[] for _ in range(n_bins)]
+        remaining: List[int] = []
+        for uid in band:
+            home = ctx.ddg.instruction(uid).home_cluster
+            if home is not None:
+                bins[home].append(uid)
+            elif confidences[uid] > self.threshold:
+                bins[preferred[uid]].append(uid)
+            else:
+                remaining.append(uid)
+
+        # Per-bin multi-source BFS distances, recomputed only for the
+        # bin that last gained a member (the others are unchanged).
+        dist_cache: List[Optional[List[int]]] = [None] * n_bins
+
+        def bin_distances(bin_index: int) -> Optional[List[int]]:
+            if not bins[bin_index]:
+                return None
+            if dist_cache[bin_index] is None:
+                # On big graphs, distances beyond the granularity ball
+                # only break far-candidate ties; cap the BFS there to
+                # keep the pass near-linear.  Small graphs get exact
+                # distances (the ties matter more, the BFS is cheap).
+                max_depth = self.granularity + 2 if len(ctx.ddg) > 400 else None
+                dist_cache[bin_index] = ctx.ddg.undirected_distances(
+                    bins[bin_index], max_depth=max_depth
+                )
+            return dist_cache[bin_index]
+
+        rr = 0
+        while remaining:
+            # Partition candidates into "far from every bin" (to be dealt
+            # round-robin for parallelism) and "near some bin" (kept with
+            # their neighbourhood).
+            dists = [bin_distances(b) for b in range(n_bins)]
+            far: List[int] = []
+            near: Dict[int, int] = {}
+            for uid in remaining:
+                per_bin = [
+                    d[uid] for d in dists if d is not None
+                ]
+                closest = min(per_bin) if per_bin else math.inf
+                if closest > self.granularity:
+                    far.append(uid)
+                else:
+                    best_bin = min(
+                        (b for b in range(n_bins) if dists[b] is not None),
+                        key=lambda b: dists[b][uid],
+                    )
+                    near[uid] = best_bin
+            if far:
+                b = rr % n_bins
+                rr += 1
+                d = dists[b]
+                if d is None:
+                    chosen = far[0]
+                else:
+                    chosen = min(far, key=lambda uid: d[uid])
+                bins[b].append(chosen)
+                dist_cache[b] = None
+                remaining.remove(chosen)
+            elif near:
+                uid, b = next(iter(near.items()))
+                bins[b].append(uid)
+                dist_cache[b] = None
+                remaining.remove(uid)
+            else:
+                # No bin has any member yet: seed them round-robin.
+                for uid in list(remaining):
+                    bins[rr % n_bins].append(uid)
+                    rr += 1
+                remaining.clear()
+
+        for b, members in enumerate(bins):
+            for uid in members:
+                ctx.matrix.scale(uid, self.boost, cluster=b)
+
+
+class PathPropagate(SchedulingPass):
+    """PATHPROP: propagate confident assignments along dependence paths.
+
+    Instructions whose spatial confidence exceeds ``threshold`` blend
+    their preference matrix (50/50, per the paper) into successively
+    less-confident instructions down their successor chain, and likewise
+    up their predecessor chain.
+    """
+
+    name = "PATHPROP"
+
+    def __init__(self, threshold: float = 1.5) -> None:
+        self.threshold = threshold
+
+    def apply(self, ctx: PassContext) -> None:
+        confidences = ctx.matrix.confidences()
+        sources = [
+            i
+            for i in range(len(ctx.ddg))
+            if confidences[i] > self.threshold and not math.isinf(confidences[i])
+        ]
+        # Also allow preplaced instructions (infinite confidence after
+        # PLACE) to propagate.
+        sources.extend(
+            i for i in ctx.ddg.preplaced() if i not in set(sources)
+        )
+        sources.sort(key=lambda i: -min(confidences[i], 1e9))
+        for source in sources:
+            self._propagate(ctx, source, confidences, downward=True)
+            self._propagate(ctx, source, confidences, downward=False)
+        ctx.matrix.normalize()
+
+    def _propagate(
+        self,
+        ctx: PassContext,
+        source: int,
+        confidences: np.ndarray,
+        downward: bool,
+    ) -> None:
+        source_conf = confidences[source]
+        current = self._next_on_path(ctx, source, source_conf, confidences, downward)
+        visited: Set[int] = {source}
+        while current is not None and current not in visited:
+            visited.add(current)
+            ctx.matrix.blend(current, source, keep=0.5)
+            current = self._next_on_path(ctx, current, source_conf, confidences, downward)
+
+    def _next_on_path(
+        self,
+        ctx: PassContext,
+        uid: int,
+        source_conf: float,
+        confidences: np.ndarray,
+        downward: bool,
+    ) -> Optional[int]:
+        edges = ctx.ddg.successors(uid) if downward else ctx.ddg.predecessors(uid)
+        candidates = [e.dst if downward else e.src for e in edges]
+        candidates = [
+            c
+            for c in candidates
+            if confidences[c] < source_conf
+            and ctx.ddg.instruction(c).home_cluster is None
+        ]
+        if not candidates:
+            return None
+        # Follow the least-confident neighbour: it benefits most.
+        return min(candidates, key=lambda c: confidences[c])

@@ -1,0 +1,81 @@
+"""REGPRESS: register-pressure awareness as a convergent pass.
+
+The paper presents convergent scheduling as "a novel approach to address
+the combined problems of cluster assignment, scheduling, and register
+pressure" and notes that the framework extends to register allocation by
+adding preference maps for registers.  This pass is that extension's
+first step: it estimates the register pressure each cluster would suffer
+under the *current* preference distribution and makes oversubscribed
+register files less attractive — exactly how LOAD treats issue
+bandwidth.
+
+Pressure is estimated statically: each value is live from its
+definition's level to its last consumer's level; the expected occupancy
+a value contributes to cluster ``c`` is its live span weighted by its
+current preference for ``c`` (values consumed remotely must also be
+buffered at the consumer, but the dominant term is modelled here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PassContext, SchedulingPass
+
+
+class RegisterPressure(SchedulingPass):
+    """Penalize clusters whose expected register pressure is high.
+
+    Args:
+        strength: How sharply an over-pressure cluster is discounted.
+            Weights on cluster ``c`` are divided by
+            ``1 + strength * max(0, pressure(c)/registers - 1)``; a
+            cluster within its register budget is untouched.
+    """
+
+    name = "REGPRESS"
+
+    def __init__(self, strength: float = 1.0) -> None:
+        if strength < 0:
+            raise ValueError("strength must be non-negative")
+        self.strength = strength
+
+    def expected_pressure(self, ctx: PassContext) -> np.ndarray:
+        """Expected simultaneous live values per cluster.
+
+        A value defined at level ``d`` and last consumed at level ``u``
+        occupies one register for ``u - d + 1`` levels; normalizing by
+        the level count gives its average contribution to pressure, and
+        the instruction's cluster marginal distributes it over clusters.
+        """
+        ddg = ctx.ddg
+        levels = ddg.levels()
+        horizon = max(levels) + 1 if levels else 1
+        marginals = ctx.matrix.cluster_marginals()
+        pressure = np.zeros(ctx.machine.n_clusters)
+        for inst in ddg:
+            if not inst.defines_value or inst.is_pseudo:
+                continue
+            consumers = [e.dst for e in ddg.successors(inst.uid) if e.carries_value]
+            if consumers:
+                last_use = max(levels[c] for c in consumers)
+            else:
+                last_use = levels[inst.uid]
+            span = max(1, last_use - levels[inst.uid] + 1)
+            # span/horizon is the fraction of the schedule the value is
+            # live; summed over values this approximates mean pressure.
+            pressure += marginals[inst.uid] * (span / horizon)
+        return pressure
+
+    def apply(self, ctx: PassContext) -> None:
+        pressure = self.expected_pressure(ctx)
+        budgets = np.array(
+            [cluster.registers for cluster in ctx.machine.clusters], dtype=float
+        )
+        over = np.maximum(0.0, pressure / np.maximum(budgets, 1.0) - 1.0)
+        if not np.any(over > 0):
+            return
+        divisor = 1.0 + self.strength * over
+        ctx.matrix.data[...] /= divisor[None, :, None]
+        ctx.matrix.touch()
+        ctx.matrix.normalize()

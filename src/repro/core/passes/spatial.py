@@ -1,0 +1,245 @@
+"""Spatial heuristics: PATH, COMM, PLACEPROP, LOAD.
+
+These four passes do the heavy lifting of cluster assignment: keep
+critical paths together, pull dependence neighbours onto the same
+cluster, spread preplacement information through the graph, and keep the
+clusters evenly loaded.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .base import PassContext, SchedulingPass, expected_cluster_load
+
+
+class CriticalPathStrengthen(SchedulingPass):
+    """PATH: keep the instructions of a critical path on one cluster.
+
+    The path's cluster is the one the path is already biased toward; with
+    no clear bias the least-loaded cluster is chosen.  When the path
+    contains preplaced instructions with different homes, it is broken at
+    each preplaced instruction and each piece is kept near the relevant
+    home cluster — exactly the splitting rule of Section 4.
+
+    Args:
+        boost: Multiplier applied toward the chosen cluster (paper: 3).
+        bias_ratio: A path is "biased" toward a cluster when that
+            cluster's share of the path's weight exceeds the runner-up's
+            by this factor.
+        paths: How many (vertex-disjoint) long paths to strengthen.  1
+            (the paper's behaviour) uses the exact critical path;
+            larger values greedily extract further near-critical paths
+            from the remaining nodes, an extension useful on graphs
+            with several competing chains.
+    """
+
+    name = "PATH"
+
+    def __init__(
+        self, boost: float = 3.0, bias_ratio: float = 1.2, paths: int = 1
+    ) -> None:
+        if paths < 1:
+            raise ValueError("paths must be >= 1")
+        self.boost = boost
+        self.bias_ratio = bias_ratio
+        self.paths = paths
+
+    def apply(self, ctx: PassContext) -> None:
+        found = self._find_paths(ctx)
+        for path in found:
+            for segment in self._split_at_preplaced(ctx, path):
+                cluster = self._segment_cluster(ctx, segment)
+                for uid in segment:
+                    ctx.matrix.scale(uid, self.boost, cluster=cluster)
+        if found:
+            ctx.matrix.normalize()
+
+    def _find_paths(self, ctx: PassContext) -> List[List[int]]:
+        """The exact critical path, plus greedy disjoint runners-up."""
+        first = ctx.ddg.critical_path()
+        if not first:
+            return []
+        paths = [first]
+        if self.paths == 1:
+            return paths
+        ddg = ctx.ddg
+        est = ddg.earliest_start()
+        tail = ddg.tail_length()
+        score = [e + t for e, t in zip(est, tail)]
+        used = set(first)
+        for _ in range(self.paths - 1):
+            candidates = [i for i in range(len(ddg)) if i not in used]
+            if not candidates:
+                break
+            seed = max(candidates, key=lambda i: (score[i], -i))
+            path = [seed]
+            current = seed
+            while True:
+                nxt = [e.dst for e in ddg.successors(current) if e.dst not in used and e.dst not in path]
+                if not nxt:
+                    break
+                current = max(nxt, key=lambda i: (score[i], -i))
+                path.append(current)
+            current = seed
+            while True:
+                prev = [e.src for e in ddg.predecessors(current) if e.src not in used and e.src not in path]
+                if not prev:
+                    break
+                current = max(prev, key=lambda i: (score[i], -i))
+                path.insert(0, current)
+            used.update(path)
+            paths.append(path)
+        return paths
+
+    def _split_at_preplaced(
+        self, ctx: PassContext, path: Sequence[int]
+    ) -> List[List[int]]:
+        """Break ``path`` whenever the preplaced home changes."""
+        segments: List[List[int]] = []
+        current: List[int] = []
+        current_home: Optional[int] = None
+        for uid in path:
+            home = ctx.ddg.instruction(uid).home_cluster
+            if home is not None and current_home is not None and home != current_home:
+                segments.append(current)
+                current = []
+                current_home = home
+            elif home is not None:
+                current_home = home
+            current.append(uid)
+        if current:
+            segments.append(current)
+        return segments
+
+    def _segment_cluster(self, ctx: PassContext, segment: Sequence[int]) -> int:
+        # A preplaced member dictates the cluster outright.
+        for uid in segment:
+            home = ctx.ddg.instruction(uid).home_cluster
+            if home is not None:
+                return home
+        marg = ctx.matrix.cluster_marginals()[list(segment)].sum(axis=0)
+        order = np.argsort(marg)
+        top, runnerup = int(order[-1]), int(order[-2]) if len(order) > 1 else int(order[-1])
+        if marg[runnerup] <= 0 or marg[top] / max(marg[runnerup], 1e-12) >= self.bias_ratio:
+            return top
+        load = expected_cluster_load(ctx.matrix)
+        return int(np.argmin(load))
+
+
+class CommunicationMinimize(SchedulingPass):
+    """COMM: pull each instruction toward its dependence neighbours.
+
+    Each instruction's per-cluster weight is multiplied by the summed
+    per-cluster weight of its neighbours (predecessors and successors),
+    so mass accumulates where the neighbourhood already is.  The paper's
+    formula multiplies per ``(c, t)`` entry; we multiply by the
+    neighbours' *cluster marginals* instead, because after INITTIME a
+    producer and consumer rarely share feasible time slots and the
+    literal product would zero everything.  The spatial effect — skewing
+    weight toward the neighbours' clusters — is identical.
+
+    With ``include_grand=True`` grand-parents and grand-children join the
+    neighbourhood at half weight (the paper's variant, "usually run
+    together with COMM").  Finally each instruction's currently preferred
+    (cluster, time) entry is doubled, the paper's sharpening step.
+    """
+
+    name = "COMM"
+
+    def __init__(self, include_grand: bool = True, sharpen: float = 2.0) -> None:
+        self.include_grand = include_grand
+        self.sharpen = sharpen
+
+    def apply(self, ctx: PassContext) -> None:
+        n = len(ctx.ddg)
+        if n == 0:
+            return
+        before = ctx.matrix.cluster_marginals().copy()
+        attraction = np.zeros_like(before)
+        for i in range(n):
+            neighbours = ctx.ddg.neighbors(i)
+            if neighbours:
+                attraction[i] += before[neighbours].sum(axis=0)
+            if self.include_grand:
+                grand = set()
+                for nb in neighbours:
+                    grand.update(ctx.ddg.neighbors(nb))
+                grand.discard(i)
+                grand.difference_update(neighbours)
+                if grand:
+                    attraction[i] += 0.5 * before[sorted(grand)].sum(axis=0)
+        # Leave isolated instructions untouched.
+        has_info = attraction.sum(axis=1) > 0
+        factors = np.where(has_info[:, None], attraction, 1.0)
+        ctx.matrix.data[...] *= factors[:, :, None]
+        ctx.matrix.touch()
+        ctx.matrix.normalize()
+        if self.sharpen > 1.0:
+            for i in range(n):
+                c = ctx.matrix.preferred_cluster(i)
+                t = ctx.matrix.preferred_time(i)
+                ctx.matrix.data[i, c, t] *= self.sharpen
+            ctx.matrix.touch()
+            ctx.matrix.normalize()
+
+
+class PreplacementPropagate(SchedulingPass):
+    """PLACEPROP: diffuse preplacement information through the graph.
+
+    Every non-preplaced instruction's weight for cluster ``c`` is divided
+    by its (undirected, hop) distance to the closest instruction
+    preplaced on ``c``.  Instructions near a home cluster's anchors are
+    thus drawn toward it.  Clusters with no preplaced instructions at all
+    use the graph-size distance, making them maximally unattractive —
+    per the paper's formula.  A no-op when the region has no preplaced
+    instructions.
+    """
+
+    name = "PLACEPROP"
+
+    def apply(self, ctx: PassContext) -> None:
+        preplaced = ctx.ddg.preplaced()
+        if not preplaced:
+            return
+        n = len(ctx.ddg)
+        fallback = float(n)
+        divisors = np.full((n, ctx.machine.n_clusters), fallback)
+        for c in range(ctx.machine.n_clusters):
+            anchors = [
+                uid
+                for uid in preplaced
+                if ctx.ddg.instruction(uid).home_cluster == c
+            ]
+            if not anchors:
+                continue
+            dist = ctx.ddg.undirected_distances(anchors)
+            divisors[:, c] = np.maximum(dist, 1)
+        preplaced_mask = np.zeros(n, dtype=bool)
+        preplaced_mask[preplaced] = True
+        divisors[preplaced_mask] = 1.0
+        ctx.matrix.data[...] /= divisors[:, :, None]
+        ctx.matrix.touch()
+        ctx.matrix.normalize()
+
+
+class LoadBalance(SchedulingPass):
+    """LOAD: divide each cluster's weights by that cluster's load.
+
+    Load is the expected instruction count per cluster under the current
+    preferences; heavily subscribed clusters become less attractive.  A
+    small epsilon keeps idle clusters finite.
+    """
+
+    name = "LOAD"
+
+    def __init__(self, epsilon: float = 0.5) -> None:
+        self.epsilon = epsilon
+
+    def apply(self, ctx: PassContext) -> None:
+        load = expected_cluster_load(ctx.matrix) + self.epsilon
+        ctx.matrix.data[...] /= load[None, :, None]
+        ctx.matrix.touch()
+        ctx.matrix.normalize()

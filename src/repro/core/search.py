@@ -1,0 +1,188 @@
+"""Automatic pass-sequence selection.
+
+The paper chooses the set, order, and repetition of heuristics by trial
+and error and names systematic selection as future work, pointing at
+Cooper's genetic-algorithm pass ordering (LCTES '99).  This module
+implements that future work: a mutation-based stochastic hill climber
+over pass sequences, scored by total simulated cycles on a training set
+of regions.
+
+Mutations mirror how a human tunes Table 1: swap two passes, replace a
+pass, insert a pass from the registry, delete a pass, or duplicate one
+(repetition is explicitly legal and useful in this framework).
+INITTIME is pinned first — every other pass assumes feasibility
+squashing has happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from .convergent import ConvergentScheduler
+from .passes import PASS_REGISTRY
+
+#: Pool of candidate pass specs mutations draw from.  FIRST is included
+#: only when targeting Chorus-style machines (harmless elsewhere).
+DEFAULT_POOL: Tuple[str, ...] = (
+    "NOISE",
+    "PLACE",
+    "PLACEPROP",
+    "LOAD",
+    "PATH",
+    "PATHPROP",
+    "LEVEL",
+    "LEVEL(stride=2, granularity=1)",
+    "COMM",
+    "EMPHCP",
+    "FIRST",
+    "REGPRESS",
+)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a sequence search.
+
+    Attributes:
+        best_sequence: The winning pass specs, INITTIME first.
+        best_score: Total weighted cycles of the winner on the training
+            regions (lower is better).
+        history: (accepted sequence, score) pairs in acceptance order;
+            ``history[0]`` is the starting point.
+        evaluations: Total candidate evaluations performed.
+    """
+
+    best_sequence: List[str]
+    best_score: float
+    history: List[Tuple[List[str], float]] = field(default_factory=list)
+    evaluations: int = 0
+
+
+def evaluate_sequence(
+    sequence: Sequence[str],
+    regions: Sequence[Region],
+    machine: Machine,
+    seed: int = 0,
+) -> float:
+    """Total trip-weighted schedule length of ``sequence`` on
+    ``regions``.
+
+    Returns ``inf`` for sequences that fail to schedule (e.g. a
+    degenerate order that starves the list scheduler) so the search
+    simply walks away from them.
+    """
+    scheduler = ConvergentScheduler(passes=list(sequence), seed=seed)
+    total = 0.0
+    try:
+        for region in regions:
+            schedule = scheduler.schedule(region, machine)
+            total += schedule.makespan * region.trip_count
+    except Exception:
+        return float("inf")
+    return total
+
+
+class SequenceSearch:
+    """Stochastic first-improvement hill climbing over pass sequences.
+
+    Args:
+        machine: Target machine.
+        regions: Training regions (schedule length summed over these is
+            the objective).
+        pool: Candidate pass specs for replace/insert mutations.
+        max_length: Upper bound on sequence length (excluding INITTIME).
+        seed: RNG seed; the search is fully deterministic given it.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        regions: Sequence[Region],
+        pool: Sequence[str] = DEFAULT_POOL,
+        max_length: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if not regions:
+            raise ValueError("need at least one training region")
+        self.machine = machine
+        self.regions = list(regions)
+        self.pool = list(pool)
+        self.max_length = max_length
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def _mutate(self, body: List[str]) -> List[str]:
+        """One random edit of the sequence body (INITTIME excluded)."""
+        candidate = list(body)
+        moves = ["swap", "replace", "insert", "delete", "duplicate"]
+        move = moves[int(self.rng.integers(len(moves)))]
+        if move == "swap" and len(candidate) >= 2:
+            i, j = self.rng.choice(len(candidate), size=2, replace=False)
+            candidate[i], candidate[j] = candidate[j], candidate[i]
+        elif move == "replace" and candidate:
+            i = int(self.rng.integers(len(candidate)))
+            candidate[i] = self.pool[int(self.rng.integers(len(self.pool)))]
+        elif move == "insert" and len(candidate) < self.max_length:
+            i = int(self.rng.integers(len(candidate) + 1))
+            candidate.insert(i, self.pool[int(self.rng.integers(len(self.pool)))])
+        elif move == "delete" and len(candidate) > 1:
+            del candidate[int(self.rng.integers(len(candidate)))]
+        elif move == "duplicate" and candidate and len(candidate) < self.max_length:
+            i = int(self.rng.integers(len(candidate)))
+            candidate.insert(i, candidate[i])
+        return candidate
+
+    def run(
+        self,
+        start: Optional[Sequence[str]] = None,
+        iterations: int = 60,
+    ) -> SearchResult:
+        """Climb from ``start`` (default: the machine's tuned sequence).
+
+        Each iteration proposes one mutation and accepts it iff it
+        strictly improves the objective; the caller controls budget via
+        ``iterations``.
+        """
+        if start is None:
+            from .sequences import GENERIC_SEQUENCE, sequence_for_machine
+
+            try:
+                start = sequence_for_machine(self.machine.name)
+            except KeyError:
+                start = GENERIC_SEQUENCE
+        body = [s for s in start if not s.upper().startswith("INITTIME")]
+        best = ["INITTIME"] + body
+        best_score = evaluate_sequence(best, self.regions, self.machine)
+        result = SearchResult(
+            best_sequence=list(best),
+            best_score=best_score,
+            history=[(list(best), best_score)],
+            evaluations=1,
+        )
+        for _ in range(iterations):
+            candidate_body = self._mutate(best[1:])
+            candidate = ["INITTIME"] + candidate_body
+            score = evaluate_sequence(candidate, self.regions, self.machine)
+            result.evaluations += 1
+            if score < best_score:
+                best, best_score = candidate, score
+                result.history.append((list(candidate), score))
+        result.best_sequence = list(best)
+        result.best_score = best_score
+        return result
+
+
+def search_sequence_for(
+    machine: Machine,
+    regions: Sequence[Region],
+    iterations: int = 60,
+    seed: int = 0,
+) -> SearchResult:
+    """Convenience wrapper: hill-climb a sequence for ``machine``."""
+    return SequenceSearch(machine, regions, seed=seed).run(iterations=iterations)

@@ -1,0 +1,101 @@
+"""The pass sequences of the paper's Table 1.
+
+The order (and repetition) of heuristics was selected by the authors by
+trial and error; these are the published sequences for the Raw machine
+and the Chorus clustered VLIW.  Sequences are plain lists of pass names
+so they are trivial to inspect, permute, and ablate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .passes import SchedulingPass, make_pass
+
+#: Table 1(a): the sequence used for the Raw machine.
+RAW_SEQUENCE: Sequence[str] = (
+    "INITTIME",
+    "PLACEPROP",
+    "LOAD",
+    "PLACE",
+    "PATH",
+    "PATHPROP",
+    "LEVEL",
+    "PATHPROP",
+    "COMM",
+    "PATHPROP",
+    "EMPHCP",
+)
+
+#: Table 1(b): the sequence used for the Chorus clustered VLIW.
+VLIW_SEQUENCE: Sequence[str] = (
+    "INITTIME",
+    "NOISE",
+    "FIRST",
+    "PATH",
+    "COMM",
+    "PLACE",
+    "PLACEPROP",
+    "COMM",
+    "EMPHCP",
+)
+
+
+#: The sequence this repository's experiments use on Raw — identical to
+#: the published one, which transfers directly to our substrate.
+TUNED_RAW_SEQUENCE: Sequence[str] = RAW_SEQUENCE
+
+#: The sequence this repository's experiments use on the clustered VLIW.
+#:
+#: The paper selects each infrastructure's pass order and weights by
+#: trial and error (Section 4); redoing that calibration on this
+#: substrate, the published VLIW order (which has no load balancing)
+#: collapses work onto cluster 0 under FIRST + COMM.  The tuned order
+#: below was produced by :mod:`repro.core.search` (hill climbing over
+#: pass sequences, trained on the VLIW suite — the automated version of
+#: the authors' manual tuning); it borrows LOAD and LEVEL from the Raw
+#: sequence and repeats LOAD aggressively.  EXPERIMENTS.md quantifies
+#: the difference; the published order remains available as
+#: :data:`VLIW_SEQUENCE`.
+TUNED_VLIW_SEQUENCE: Sequence[str] = (
+    "INITTIME",
+    "NOISE",
+    "PLACE",
+    "PLACEPROP",
+    "LOAD",
+    "LOAD",
+    "LOAD",
+    "PATH",
+    "PATHPROP",
+    "LEVEL",
+    "PATHPROP",
+    "EMPHCP",
+    "LOAD",
+    "COMM",
+    "COMM",
+)
+
+
+def build_sequence(names: Sequence[str]) -> List[SchedulingPass]:
+    """Instantiate a fresh pass object for each spec in ``names``."""
+    return [make_pass(name) for name in names]
+
+
+#: Machine-agnostic default for machines outside the paper's two
+#: families: the tuned sequence minus the Chorus-specific FIRST bias.
+GENERIC_SEQUENCE: Sequence[str] = TUNED_VLIW_SEQUENCE
+
+
+def sequence_for_machine(machine_name: str, paper: bool = False) -> Sequence[str]:
+    """The pass sequence for a machine, by name prefix.
+
+    Args:
+        machine_name: e.g. ``"raw4x4"`` or ``"vliw4"``.
+        paper: Return the published Table-1 sequence instead of the
+            sequence tuned for this repository's substrate.
+    """
+    if machine_name.startswith("raw"):
+        return RAW_SEQUENCE if paper else TUNED_RAW_SEQUENCE
+    if machine_name.startswith("vliw"):
+        return VLIW_SEQUENCE if paper else TUNED_VLIW_SEQUENCE
+    raise KeyError(f"no published pass sequence for machine {machine_name!r}")

@@ -1,0 +1,304 @@
+"""The convergent scheduling preference matrix.
+
+This is the paper's central interface (Section 3): a three-dimensional
+matrix ``W[i, c, t]`` over instructions *i*, clusters *c*, and time slots
+*t*, holding each instruction's preference for executing on cluster *c*
+at time *t*.  Two invariants hold between passes::
+
+    forall i, c, t :  0 <= W[i, c, t] <= 1
+    forall i       :  sum over (c, t) of W[i, c, t] == 1
+
+Passes read the current preferences, nudge them (multiply, add, blend,
+squash), and renormalize.  The matrix memoizes its space and time
+marginals so that ``preferred_cluster`` / ``preferred_time`` /
+``confidence`` queries are O(1) between mutations, mirroring the paper's
+incremental sum tracking.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.ddg import DataDependenceGraph
+
+
+class PreferenceMatrix:
+    """Preference weights ``W[i, c, t]`` for one scheduling region.
+
+    Args:
+        n_instructions: Number of instructions (rows).
+        n_clusters: Number of clusters/tiles.
+        n_time_slots: Number of time slots; the paper allocates one per
+            cycle of critical path length.
+
+    The matrix starts uniform: every (cluster, slot) pair is equally
+    preferred by every instruction.
+    """
+
+    def __init__(self, n_instructions: int, n_clusters: int, n_time_slots: int) -> None:
+        if n_instructions < 0 or n_clusters < 1 or n_time_slots < 1:
+            raise ValueError(
+                f"invalid matrix shape ({n_instructions}, {n_clusters}, {n_time_slots})"
+            )
+        self._w = np.full(
+            (n_instructions, n_clusters, n_time_slots),
+            1.0 / (n_clusters * n_time_slots),
+            dtype=np.float64,
+        )
+        self._cluster_marginal: Optional[np.ndarray] = None  # (N, C)
+        self._time_marginal: Optional[np.ndarray] = None  # (N, T)
+
+    @classmethod
+    def for_region(cls, ddg: DataDependenceGraph, n_clusters: int) -> "PreferenceMatrix":
+        """Allocate a matrix sized to ``ddg``'s critical path length."""
+        return cls(len(ddg), n_clusters, max(1, ddg.critical_path_length()))
+
+    # ------------------------------------------------------------------
+    # Shape and raw access
+    # ------------------------------------------------------------------
+
+    @property
+    def n_instructions(self) -> int:
+        """Number of instructions."""
+        return self._w.shape[0]
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters."""
+        return self._w.shape[1]
+
+    @property
+    def n_time_slots(self) -> int:
+        """Number of time slots."""
+        return self._w.shape[2]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying ``(N, C, T)`` array.
+
+        Passes may mutate it directly for vectorized updates, but must
+        call :meth:`touch` afterwards (and usually :meth:`normalize`).
+        """
+        return self._w
+
+    def touch(self) -> None:
+        """Invalidate memoized marginals after direct mutation of
+        :attr:`data`."""
+        self._cluster_marginal = None
+        self._time_marginal = None
+
+    def copy(self) -> "PreferenceMatrix":
+        """Deep copy (used by the convergence tracker for snapshots)."""
+        out = PreferenceMatrix(self.n_instructions, self.n_clusters, self.n_time_slots)
+        out._w = self._w.copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # Marginals and preferred slots
+    # ------------------------------------------------------------------
+
+    def cluster_marginals(self) -> np.ndarray:
+        """``(N, C)`` array: weight of each cluster summed over time."""
+        if self._cluster_marginal is None:
+            self._cluster_marginal = self._w.sum(axis=2)
+        return self._cluster_marginal
+
+    def time_marginals(self) -> np.ndarray:
+        """``(N, T)`` array: weight of each time slot summed over clusters."""
+        if self._time_marginal is None:
+            self._time_marginal = self._w.sum(axis=1)
+        return self._time_marginal
+
+    def preferred_cluster(self, i: int) -> int:
+        """argmax over clusters of the time-summed weight of ``i``."""
+        return int(np.argmax(self.cluster_marginals()[i]))
+
+    def preferred_time(self, i: int) -> int:
+        """argmax over time slots of the cluster-summed weight of ``i``."""
+        return int(np.argmax(self.time_marginals()[i]))
+
+    def preferred_clusters(self) -> List[int]:
+        """Preferred cluster of every instruction (vectorized)."""
+        if self.n_instructions == 0:
+            return []
+        return list(np.argmax(self.cluster_marginals(), axis=1))
+
+    def preferred_times(self) -> List[int]:
+        """Preferred time slot of every instruction (vectorized)."""
+        if self.n_instructions == 0:
+            return []
+        return list(np.argmax(self.time_marginals(), axis=1))
+
+    def runnerup_cluster(self, i: int) -> Optional[int]:
+        """The second-choice cluster of ``i``; ``None`` on 1-cluster machines."""
+        if self.n_clusters < 2:
+            return None
+        marg = self.cluster_marginals()[i]
+        order = np.argsort(marg)
+        return int(order[-2])
+
+    def confidence(self, i: int) -> float:
+        """Ratio of the preferred cluster's weight to the runner-up's.
+
+        The paper's confidence measure: how sure the scheduler currently
+        is about instruction ``i``'s spatial assignment.  Returns ``inf``
+        on single-cluster machines or when the runner-up has no weight.
+        """
+        runnerup = self.runnerup_cluster(i)
+        if runnerup is None:
+            return math.inf
+        marg = self.cluster_marginals()[i]
+        top = float(marg[self.preferred_cluster(i)])
+        second = float(marg[runnerup])
+        if second <= 0.0:
+            return math.inf
+        return top / second
+
+    def confidences(self) -> np.ndarray:
+        """Vector of per-instruction confidences (``inf`` where undefined)."""
+        if self.n_clusters < 2:
+            return np.full(self.n_instructions, np.inf)
+        marg = np.sort(self.cluster_marginals(), axis=1)
+        top = marg[:, -1]
+        second = marg[:, -2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            conf = np.where(second > 0.0, top / np.maximum(second, 1e-300), np.inf)
+        return conf
+
+    # ------------------------------------------------------------------
+    # Basic operations (Section 3, "basic operations on the weights")
+    # ------------------------------------------------------------------
+
+    def scale(
+        self,
+        i: int,
+        factor: float,
+        cluster: Optional[int] = None,
+        time: Optional[int] = None,
+    ) -> None:
+        """Multiply a slice of instruction ``i``'s weights by ``factor``.
+
+        ``cluster``/``time`` restrict the slice; ``None`` spans the axis.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        c_idx = slice(None) if cluster is None else cluster
+        t_idx = slice(None) if time is None else time
+        self._w[i, c_idx, t_idx] *= factor
+        self.touch()
+
+    def squash_time_outside(self, i: int, first: int, last: int) -> None:
+        """Zero every time slot of ``i`` outside ``[first, last]``.
+
+        Used by INITTIME to erase infeasible slots.
+        """
+        first = max(0, first)
+        last = min(self.n_time_slots - 1, last)
+        if first > last:
+            raise ValueError(f"empty feasible window [{first}, {last}] for instruction {i}")
+        self._w[i, :, :first] = 0.0
+        self._w[i, :, last + 1 :] = 0.0
+        self.touch()
+
+    def squash_cluster(self, i: int, cluster: int) -> None:
+        """Zero all weight of ``i`` on ``cluster`` (infeasible placement)."""
+        self._w[i, cluster, :] = 0.0
+        self.touch()
+
+    def blend(self, dst: int, src: int, keep: float) -> None:
+        """``W[dst] <- keep * W[dst] + (1 - keep) * W[src]``.
+
+        The paper's two-instruction linear combination, used by PATHPROP
+        to propagate a confident instruction's matrix along a path.
+        """
+        if not 0.0 <= keep <= 1.0:
+            raise ValueError("keep must be in [0, 1]")
+        self._w[dst] = keep * self._w[dst] + (1.0 - keep) * self._w[src]
+        self.touch()
+
+    def blend_space(self, dst: int, src: int, keep: float) -> None:
+        """Blend only the spatial distribution of ``src`` into ``dst``.
+
+        ``dst``'s own time distribution is preserved; its per-cluster
+        mass moves toward ``src``'s cluster marginals.  This is the
+        paper's cheaper partial combination "only along the space
+        dimension".
+        """
+        if not 0.0 <= keep <= 1.0:
+            raise ValueError("keep must be in [0, 1]")
+        dst_c = self.cluster_marginals()[dst]
+        src_c = self.cluster_marginals()[src]
+        target_c = keep * dst_c + (1.0 - keep) * src_c
+        # Rescale each cluster row of dst to hit the blended marginal,
+        # keeping the time profile; empty rows borrow dst's average
+        # time profile.
+        time_profile = self._w[dst].sum(axis=0)
+        if time_profile.sum() <= 0:
+            time_profile = np.full(self.n_time_slots, 1.0 / self.n_time_slots)
+        else:
+            time_profile = time_profile / time_profile.sum()
+        for c in range(self.n_clusters):
+            row_sum = dst_c[c]
+            if row_sum > 0:
+                self._w[dst, c] *= target_c[c] / row_sum
+            else:
+                self._w[dst, c] = target_c[c] * time_profile
+        self.touch()
+
+    def normalize(self) -> None:
+        """Restore the per-instruction sum-to-one invariant.
+
+        Instructions whose weights have been squashed to all-zero are
+        reset to uniform, so no instruction is ever left unschedulable.
+        """
+        sums = self._w.sum(axis=(1, 2), keepdims=True)
+        zero = sums[:, 0, 0] <= 0.0
+        if np.any(zero):
+            self._w[zero] = 1.0 / (self.n_clusters * self.n_time_slots)
+            sums = self._w.sum(axis=(1, 2), keepdims=True)
+        self._w /= sums
+        self.touch()
+
+    def check_invariants(self, tolerance: float = 1e-9) -> None:
+        """Raise ``ValueError`` if the two matrix invariants are violated."""
+        if np.any(self._w < -tolerance):
+            raise ValueError("negative preference weight")
+        if np.any(self._w > 1.0 + tolerance):
+            raise ValueError("preference weight exceeds 1")
+        sums = self._w.sum(axis=(1, 2))
+        if self.n_instructions and not np.allclose(sums, 1.0, atol=1e-6):
+            worst = int(np.argmax(np.abs(sums - 1.0)))
+            raise ValueError(
+                f"instruction {worst} weights sum to {sums[worst]:.6f}, expected 1"
+            )
+
+    # ------------------------------------------------------------------
+    # Rendering (Figure 4 style maps)
+    # ------------------------------------------------------------------
+
+    def render_cluster_map(self, instructions: Optional[Sequence[int]] = None) -> str:
+        """ASCII rendition of the cluster preference map (Figure 4).
+
+        One row per instruction, one column per cluster; darker glyphs
+        mean weaker preference, ``#`` strongest.
+        """
+        glyphs = " .:-=+*%@#"
+        rows = []
+        marg = self.cluster_marginals()
+        subset: Iterable[int] = (
+            range(self.n_instructions) if instructions is None else instructions
+        )
+        for i in subset:
+            total = marg[i].sum()
+            shares = marg[i] / total if total > 0 else marg[i]
+            cells = "".join(
+                glyphs[min(len(glyphs) - 1, int(s * (len(glyphs) - 1) / max(shares.max(), 1e-12)))]
+                if shares.max() > 0
+                else glyphs[0]
+                for s in shares
+            )
+            rows.append(f"{i:4d} |{cells}|")
+        return "\n".join(rows)

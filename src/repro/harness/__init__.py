@@ -1,0 +1,28 @@
+"""Experiment harness: speedups, convergence traces, compile-time scaling."""
+
+from .convergence import ConvergenceStudy, convergence_study
+from .experiment import ProgramResult, RegionResult, run_program, run_region
+from .results import load_result, save_result
+from .reporting import arithmetic_mean, format_bar_chart, format_table, geometric_mean
+from .scaling import ScalingResult, compile_time_scaling
+from .speedup import SpeedupTable, raw_speedups, vliw_speedups
+
+__all__ = [
+    "ConvergenceStudy",
+    "ProgramResult",
+    "RegionResult",
+    "ScalingResult",
+    "SpeedupTable",
+    "arithmetic_mean",
+    "compile_time_scaling",
+    "convergence_study",
+    "format_bar_chart",
+    "format_table",
+    "geometric_mean",
+    "load_result",
+    "save_result",
+    "raw_speedups",
+    "run_program",
+    "run_region",
+    "vliw_speedups",
+]

@@ -1,0 +1,101 @@
+"""Running benchmarks through schedulers and the simulator.
+
+One rule governs every number this repository reports: the cycle count
+comes from :func:`repro.sim.simulate`, never from the scheduler itself.
+A result whose schedule fails validation raises, so every table in
+EXPERIMENTS.md is backed by a verified schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ir.regions import Program, Region
+from ..machine.machine import Machine
+from ..schedulers.base import Scheduler
+from ..sim.simulator import SimulationReport, simulate
+
+
+@dataclass
+class RegionResult:
+    """Outcome for one region."""
+
+    region_name: str
+    cycles: int
+    transfers: int
+    utilization: float
+    compile_seconds: float
+
+
+@dataclass
+class ProgramResult:
+    """Outcome for one (program, machine, scheduler) combination.
+
+    Attributes:
+        cycles: Trip-count-weighted total cycles over all regions.
+        compile_seconds: Total scheduling time (the Figure-10 metric).
+    """
+
+    benchmark: str
+    machine_name: str
+    scheduler_name: str
+    cycles: int
+    transfers: int
+    compile_seconds: float
+    regions: List[RegionResult]
+
+    @property
+    def instructions(self) -> int:
+        return sum(1 for _ in self.regions)
+
+
+def run_region(
+    region: Region,
+    machine: Machine,
+    scheduler: Scheduler,
+    check_values: bool = True,
+) -> RegionResult:
+    """Schedule one region, validate it, and report verified cycles."""
+    started = time.perf_counter()
+    schedule = scheduler.schedule(region, machine)
+    elapsed = time.perf_counter() - started
+    report: SimulationReport = simulate(
+        region, machine, schedule, strict=True, check_values=check_values
+    )
+    return RegionResult(
+        region_name=region.name,
+        cycles=report.cycles,
+        transfers=report.transfers,
+        utilization=report.utilization(machine),
+        compile_seconds=elapsed,
+    )
+
+
+def run_program(
+    program: Program,
+    machine: Machine,
+    scheduler: Scheduler,
+    check_values: bool = True,
+) -> ProgramResult:
+    """Schedule every region of ``program``; weight cycles by trip count."""
+    region_results: List[RegionResult] = []
+    total_cycles = 0
+    total_transfers = 0
+    total_seconds = 0.0
+    for region in program.regions:
+        result = run_region(region, machine, scheduler, check_values=check_values)
+        region_results.append(result)
+        total_cycles += result.cycles * region.trip_count
+        total_transfers += result.transfers * region.trip_count
+        total_seconds += result.compile_seconds
+    return ProgramResult(
+        benchmark=program.name,
+        machine_name=machine.name,
+        scheduler_name=scheduler.name,
+        cycles=total_cycles,
+        transfers=total_transfers,
+        compile_seconds=total_seconds,
+        regions=region_results,
+    )

@@ -1,0 +1,77 @@
+"""Plain-text rendering of result tables and bar charts.
+
+The paper's tables and figures are regenerated as aligned ASCII so the
+benchmark harness can print them directly; nothing here affects the
+numbers themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Align ``rows`` under ``headers``; floats get two decimals."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) if i else cell.ljust(w) for i, (cell, w) in enumerate(zip(row, widths)))
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    series: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Grouped horizontal bars: ``series[group][label] = value``."""
+    peak = max(
+        (value for group in series.values() for value in group.values()),
+        default=1.0,
+    )
+    label_width = max(
+        (len(label) for group in series.values() for label in group),
+        default=4,
+    )
+    lines = [title] if title else []
+    for group_name, group in series.items():
+        lines.append(f"{group_name}:")
+        for label, value in group.items():
+            bar = "#" * max(1, int(round(value / peak * width))) if value > 0 else ""
+            lines.append(f"  {label.ljust(label_width)} {value:7.2f} |{bar}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; 0 for an empty sequence."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,127 @@
+"""Serialization of experiment results.
+
+Experiments are cheap to re-run but the numbers in EXPERIMENTS.md should
+be regenerable byte-for-byte: this module round-trips the harness's
+result objects through plain JSON so a results file can be committed,
+diffed, and compared across machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from .convergence import ConvergenceStudy
+from .scaling import ScalingResult
+from .speedup import SpeedupTable
+
+PathLike = Union[str, Path]
+
+
+def speedup_table_to_dict(table: SpeedupTable) -> Dict:
+    """JSON-safe representation of a :class:`SpeedupTable`."""
+    return {
+        "kind": "speedup_table",
+        "sizes": list(table.sizes),
+        "baseline_cycles": dict(table.baseline_cycles),
+        "speedups": {
+            bench: {
+                scheduler: {str(n): value for n, value in by_size.items()}
+                for scheduler, by_size in by_scheduler.items()
+            }
+            for bench, by_scheduler in table.speedups.items()
+        },
+    }
+
+
+def speedup_table_from_dict(data: Dict) -> SpeedupTable:
+    """Inverse of :func:`speedup_table_to_dict`."""
+    if data.get("kind") != "speedup_table":
+        raise ValueError("not a serialized speedup table")
+    table = SpeedupTable(sizes=tuple(data["sizes"]))
+    table.baseline_cycles = {k: int(v) for k, v in data["baseline_cycles"].items()}
+    table.speedups = {
+        bench: {
+            scheduler: {int(n): float(v) for n, v in by_size.items()}
+            for scheduler, by_size in by_scheduler.items()
+        }
+        for bench, by_scheduler in data["speedups"].items()
+    }
+    return table
+
+
+def convergence_study_to_dict(study: ConvergenceStudy) -> Dict:
+    """JSON-safe representation of a :class:`ConvergenceStudy`."""
+    return {
+        "kind": "convergence_study",
+        "machine": study.machine_name,
+        "pass_names": list(study.pass_names),
+        "series": {bench: list(values) for bench, values in study.series.items()},
+    }
+
+
+def convergence_study_from_dict(data: Dict) -> ConvergenceStudy:
+    """Inverse of :func:`convergence_study_to_dict`."""
+    if data.get("kind") != "convergence_study":
+        raise ValueError("not a serialized convergence study")
+    study = ConvergenceStudy(machine_name=data["machine"])
+    study.pass_names = list(data["pass_names"])
+    study.series = {k: [float(x) for x in v] for k, v in data["series"].items()}
+    return study
+
+
+def scaling_result_to_dict(result: ScalingResult) -> Dict:
+    """JSON-safe representation of a :class:`ScalingResult`."""
+    return {
+        "kind": "scaling_result",
+        "sizes": list(result.sizes),
+        "seconds": {
+            scheduler: {str(n): t for n, t in times.items()}
+            for scheduler, times in result.seconds.items()
+        },
+    }
+
+
+def scaling_result_from_dict(data: Dict) -> ScalingResult:
+    """Inverse of :func:`scaling_result_to_dict`."""
+    if data.get("kind") != "scaling_result":
+        raise ValueError("not a serialized scaling result")
+    result = ScalingResult(sizes=tuple(data["sizes"]))
+    result.seconds = {
+        scheduler: {int(n): float(t) for n, t in times.items()}
+        for scheduler, times in data["seconds"].items()
+    }
+    return result
+
+
+_SERIALIZERS = {
+    SpeedupTable: speedup_table_to_dict,
+    ConvergenceStudy: convergence_study_to_dict,
+    ScalingResult: scaling_result_to_dict,
+}
+
+_DESERIALIZERS = {
+    "speedup_table": speedup_table_from_dict,
+    "convergence_study": convergence_study_from_dict,
+    "scaling_result": scaling_result_from_dict,
+}
+
+
+def save_result(result, path: PathLike) -> None:
+    """Write any harness result object to ``path`` as JSON."""
+    for kind, serializer in _SERIALIZERS.items():
+        if isinstance(result, kind):
+            Path(path).write_text(json.dumps(serializer(result), indent=2))
+            return
+    raise TypeError(f"cannot serialize {type(result).__name__}")
+
+
+def load_result(path: PathLike):
+    """Read a harness result object previously written by
+    :func:`save_result`."""
+    data = json.loads(Path(path).read_text())
+    kind = data.get("kind")
+    if kind not in _DESERIALIZERS:
+        raise ValueError(f"unknown result kind {kind!r}")
+    return _DESERIALIZERS[kind](data)

@@ -1,0 +1,151 @@
+"""Speedup experiments: Table 2, Figure 6, and Figure 8.
+
+Speedup is defined exactly as in the paper: cycles on a single
+cluster/tile divided by cycles on the parallel machine, for the same
+unrolled program.  The single-cluster run uses a 1-cluster machine of
+the same family (congruence then maps every bank to that cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.convergent import ConvergentScheduler
+from ..machine.raw import raw_with_tiles
+from ..machine.vliw import ClusteredVLIW
+from ..schedulers.base import Scheduler
+from ..schedulers.pcc import PartialComponentClustering
+from ..schedulers.rawcc import RawccScheduler
+from ..schedulers.single import SingleClusterScheduler
+from ..schedulers.uas import UnifiedAssignAndSchedule
+from ..workloads.suite import RAW_SUITE, VLIW_SUITE, build_benchmark
+from .experiment import run_program
+from .reporting import arithmetic_mean, format_table
+
+
+@dataclass
+class SpeedupTable:
+    """Speedups indexed by benchmark, scheduler, and machine size."""
+
+    sizes: Sequence[int]
+    #: speedups[benchmark][scheduler][size] = speedup over 1 cluster.
+    speedups: Dict[str, Dict[str, Dict[int, float]]] = field(default_factory=dict)
+    #: baseline_cycles[benchmark] = verified single-cluster cycles.
+    baseline_cycles: Dict[str, int] = field(default_factory=dict)
+
+    def mean_speedup(self, scheduler: str, size: int) -> float:
+        """Arithmetic-mean speedup of a scheduler at one machine size."""
+        return arithmetic_mean(
+            [bench[scheduler][size] for bench in self.speedups.values() if scheduler in bench]
+        )
+
+    def improvement(self, scheduler: str, over: str, size: int) -> float:
+        """Mean per-benchmark ratio of ``scheduler`` over ``over``.
+
+        The paper's "21% improvement" metric: mean of per-benchmark
+        speedup ratios minus one.
+        """
+        ratios = [
+            bench[scheduler][size] / bench[over][size]
+            for bench in self.speedups.values()
+            if scheduler in bench and over in bench and bench[over][size] > 0
+        ]
+        return arithmetic_mean(ratios) - 1.0 if ratios else 0.0
+
+    def render(self, title: str = "") -> str:
+        """Aligned table: one row per benchmark, sizes x schedulers."""
+        schedulers: List[str] = []
+        for bench in self.speedups.values():
+            for s in bench:
+                if s not in schedulers:
+                    schedulers.append(s)
+        headers = ["benchmark"] + [
+            f"{s}/{n}" for s in schedulers for n in self.sizes
+        ]
+        rows = []
+        for name, bench in self.speedups.items():
+            row: List[object] = [name]
+            for s in schedulers:
+                for n in self.sizes:
+                    row.append(bench.get(s, {}).get(n, float("nan")))
+            rows.append(row)
+        return format_table(headers, rows, title=title)
+
+
+def raw_speedups(
+    benchmarks: Sequence[str] = RAW_SUITE,
+    sizes: Sequence[int] = (2, 4, 8, 16),
+    schedulers: Optional[Mapping[str, Scheduler]] = None,
+    check_values: bool = True,
+) -> SpeedupTable:
+    """Reproduce Table 2: Rawcc baseline vs convergent scheduling on Raw.
+
+    Every benchmark is scheduled on 1 tile (denominator) and on each
+    mesh size with each scheduler; speedups are relative to the 1-tile
+    run of the same program.
+    """
+    if schedulers is None:
+        schedulers = {"rawcc": RawccScheduler(), "convergent": ConvergentScheduler()}
+    table = SpeedupTable(sizes=tuple(sizes))
+    single = SingleClusterScheduler()
+    for name in benchmarks:
+        one_tile = raw_with_tiles(1)
+        base = run_program(
+            build_benchmark(name, one_tile), one_tile, single, check_values=check_values
+        )
+        table.baseline_cycles[name] = base.cycles
+        table.speedups[name] = {}
+        for sched_name, scheduler in schedulers.items():
+            table.speedups[name][sched_name] = {}
+            for n_tiles in sizes:
+                machine = raw_with_tiles(n_tiles)
+                result = run_program(
+                    build_benchmark(name, machine),
+                    machine,
+                    scheduler,
+                    check_values=check_values,
+                )
+                table.speedups[name][sched_name][n_tiles] = (
+                    base.cycles / result.cycles if result.cycles else float("inf")
+                )
+    return table
+
+
+def vliw_speedups(
+    benchmarks: Sequence[str] = VLIW_SUITE,
+    n_clusters: int = 4,
+    schedulers: Optional[Mapping[str, Scheduler]] = None,
+    check_values: bool = True,
+) -> SpeedupTable:
+    """Reproduce Figure 8: PCC vs UAS vs convergent on a clustered VLIW.
+
+    Speedup is relative to a single-cluster machine of the same family.
+    """
+    if schedulers is None:
+        schedulers = {
+            "pcc": PartialComponentClustering(),
+            "uas": UnifiedAssignAndSchedule(),
+            "convergent": ConvergentScheduler(),
+        }
+    table = SpeedupTable(sizes=(n_clusters,))
+    single = SingleClusterScheduler()
+    for name in benchmarks:
+        one = ClusteredVLIW(1)
+        base = run_program(
+            build_benchmark(name, one), one, single, check_values=check_values
+        )
+        table.baseline_cycles[name] = base.cycles
+        machine = ClusteredVLIW(n_clusters)
+        table.speedups[name] = {}
+        for sched_name, scheduler in schedulers.items():
+            result = run_program(
+                build_benchmark(name, machine),
+                machine,
+                scheduler,
+                check_values=check_values,
+            )
+            table.speedups[name][sched_name] = {
+                n_clusters: base.cycles / result.cycles if result.cycles else float("inf")
+            }
+    return table

@@ -1,0 +1,41 @@
+"""Instruction IR: opcodes, instructions, dependence graphs, regions."""
+
+from .builder import RegionBuilder, Value
+from .cfg import BasicBlock, CfgEdge, ControlFlowGraph, Stmt
+from .ddg import DataDependenceGraph, GraphError
+from .hyperblocks import find_diamonds, if_convert, program_from_cfg_hyperblocks
+from .instruction import DependenceEdge, Instruction
+from .opcode import FuncClass, LatencyModel, Opcode, func_class, is_memory, is_pseudo
+from .regions import Program, Region, RegionKind
+from .superblocks import program_from_cfg_superblocks, tail_duplicate
+from .traces import form_traces, lower_trace, program_from_cfg
+
+__all__ = [
+    "BasicBlock",
+    "CfgEdge",
+    "ControlFlowGraph",
+    "DataDependenceGraph",
+    "DependenceEdge",
+    "FuncClass",
+    "GraphError",
+    "Instruction",
+    "LatencyModel",
+    "Opcode",
+    "Program",
+    "Region",
+    "RegionBuilder",
+    "RegionKind",
+    "Stmt",
+    "Value",
+    "find_diamonds",
+    "form_traces",
+    "if_convert",
+    "func_class",
+    "lower_trace",
+    "program_from_cfg",
+    "program_from_cfg_hyperblocks",
+    "program_from_cfg_superblocks",
+    "tail_duplicate",
+    "is_memory",
+    "is_pseudo",
+]

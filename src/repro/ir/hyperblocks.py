@@ -1,0 +1,187 @@
+"""Hyperblock formation by if-conversion.
+
+Hyperblocks (Mahlke et al., MICRO-25) are the third region kind the
+paper lists: single-entry regions whose internal control flow has been
+*if-converted* into straight-line predicated code, so the scheduler sees
+one large block.  Our IR has no predicate registers; we if-convert with
+the equivalent ``SLT``-driven select idiom: both arms of a diamond
+execute, and each variable they define differently is merged with
+
+    merged = cond * then_value + (1 - cond) * else_value
+
+(the multiplicative select compilers without predication emit).  This
+turns control dependence into data dependence — exactly what gives the
+spatial scheduler more ILP to place.
+
+Only *diamonds* are converted: a block with two successors that both
+fall through to a common join block, with no side effects whose
+suppression would be observable (stores in the arms block conversion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cfg import BasicBlock, CfgEdge, ControlFlowGraph, Stmt
+from .opcode import Opcode
+from .regions import Program, RegionKind
+from .traces import form_traces, lower_trace
+
+
+@dataclass(frozen=True)
+class Diamond:
+    """A convertible if/then/else: head -> (then | else) -> join."""
+
+    head: str
+    then_block: str
+    else_block: str
+    join: str
+
+
+def find_diamonds(cfg: ControlFlowGraph) -> List[Diamond]:
+    """All convertible diamonds in ``cfg``.
+
+    A diamond converts when both arms are side-effect free (no stores),
+    have the join as their only successor, and the head as their only
+    predecessor — the textbook if-conversion precondition.
+    """
+    diamonds = []
+    for block in cfg.blocks():
+        succs = cfg.successors(block.name)
+        if len(succs) != 2:
+            continue
+        arm_a, arm_b = succs[0].dst, succs[1].dst
+        if arm_a == arm_b:
+            continue
+        joins = set()
+        convertible = True
+        for arm in (arm_a, arm_b):
+            arm_succs = cfg.successors(arm)
+            arm_preds = cfg.predecessors(arm)
+            if len(arm_succs) != 1 or len(arm_preds) != 1:
+                convertible = False
+                break
+            if any(s.opcode is Opcode.STORE for s in cfg.block(arm).stmts):
+                convertible = False
+                break
+            joins.add(arm_succs[0].dst)
+        if convertible and len(joins) == 1:
+            diamonds.append(
+                Diamond(
+                    head=block.name,
+                    then_block=arm_a,
+                    else_block=arm_b,
+                    join=joins.pop(),
+                )
+            )
+    return diamonds
+
+
+def _renamed(stmts: List[Stmt], suffix: str, protected: Set[str]) -> Tuple[List[Stmt], Dict[str, str]]:
+    """Clone ``stmts`` with every defined variable renamed by ``suffix``."""
+    renames: Dict[str, str] = {}
+    out: List[Stmt] = []
+    for stmt in stmts:
+        args = tuple(renames.get(a, a) for a in stmt.args)
+        dest = stmt.dest
+        if dest is not None:
+            renames[dest] = f"{dest}{suffix}"
+            dest = renames[dest]
+        out.append(
+            Stmt(
+                dest=dest,
+                opcode=stmt.opcode,
+                args=args,
+                bank=stmt.bank,
+                array=stmt.array,
+                immediate=stmt.immediate,
+            )
+        )
+    return out, renames
+
+
+def if_convert(cfg: ControlFlowGraph, condition_var: Optional[Dict[str, str]] = None) -> ControlFlowGraph:
+    """Return a new CFG with every convertible diamond if-converted.
+
+    Args:
+        condition_var: Map from diamond head block name to the variable
+            holding its branch condition (1.0 = then side).  Heads not
+            listed use the last variable the head defines — the natural
+            layout when the comparison is the block's final statement.
+
+    Both arms' statements are inlined into the head (with renaming), and
+    every variable the arms define is merged with the multiplicative
+    select; the merged head falls through straight to the join.
+    """
+    condition_var = condition_var or {}
+    diamonds = {d.head: d for d in find_diamonds(cfg)}
+    out = ControlFlowGraph(cfg.name, entry=cfg.entry, inputs=set(cfg.inputs))
+    removed: Set[str] = set()
+    for d in diamonds.values():
+        removed.add(d.then_block)
+        removed.add(d.else_block)
+
+    for block in cfg.blocks():
+        if block.name in removed:
+            continue
+        clone = out.add_block(block.name)
+        clone.stmts = list(block.stmts)
+        out.set_frequency(block.name, cfg.frequency(block.name))
+        if block.name not in diamonds:
+            continue
+        d = diamonds[block.name]
+        cond = condition_var.get(block.name)
+        if cond is None:
+            defs = [s.dest for s in block.stmts if s.dest is not None]
+            if not defs:
+                raise ValueError(
+                    f"cannot infer condition variable for diamond at {d.head!r}"
+                )
+            cond = defs[-1]
+        then_stmts, then_renames = _renamed(cfg.block(d.then_block).stmts, ".t", set())
+        else_stmts, else_renames = _renamed(cfg.block(d.else_block).stmts, ".e", set())
+        clone.stmts.extend(then_stmts)
+        clone.stmts.extend(else_stmts)
+        # Merge every variable either arm defines: sel = c*t + (1-c)*e.
+        merged = sorted(set(then_renames) | set(else_renames))
+        one = f"__one.{d.head}"
+        notc = f"__not.{d.head}"
+        clone.stmts.append(Stmt(one, Opcode.LI, immediate=1.0))
+        clone.stmts.append(Stmt(notc, Opcode.FSUB, (one, cond)))
+        for var in merged:
+            then_name = then_renames.get(var, var)
+            else_name = else_renames.get(var, var)
+            t_term = f"__t.{d.head}.{var}"
+            e_term = f"__e.{d.head}.{var}"
+            clone.stmts.append(Stmt(t_term, Opcode.FMUL, (cond, then_name)))
+            clone.stmts.append(Stmt(e_term, Opcode.FMUL, (notc, else_name)))
+            clone.stmts.append(Stmt(var, Opcode.FADD, (t_term, e_term)))
+
+    # Edges: diamonds fall straight through to their joins; everything
+    # else copies over (skipping edges touching removed blocks).
+    for block in cfg.blocks():
+        if block.name in removed:
+            continue
+        if block.name in diamonds:
+            out.add_edge(block.name, diamonds[block.name].join, 1.0)
+            continue
+        for e in cfg.successors(block.name):
+            if e.dst in removed:
+                continue
+            out.add_edge(block.name, e.dst, e.probability)
+    return out
+
+
+def program_from_cfg_hyperblocks(cfg: ControlFlowGraph) -> Program:
+    """If-convert ``cfg``, re-form traces, and lower each region as a
+    hyperblock."""
+    converted = if_convert(cfg)
+    converted.validate()
+    live_in, live_out = converted.liveness()
+    program = Program(converted.name)
+    for trace in form_traces(converted):
+        region = lower_trace(converted, trace, live_in, live_out)
+        region.kind = RegionKind.HYPERBLOCK
+        program.add(region)
+    return program

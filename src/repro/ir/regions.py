@@ -1,0 +1,88 @@
+"""Scheduling regions.
+
+Convergent scheduling operates on individual *scheduling units*: basic
+blocks, traces, superblocks, hyperblocks, or treegions.  This module
+wraps a :class:`~repro.ir.ddg.DataDependenceGraph` with region metadata.
+All schedulers in this repository are region-at-a-time, as in the paper;
+cross-region values appear as LIVE_IN / LIVE_OUT pseudo-instructions
+whose home clusters must be honored (they become preplaced).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from .ddg import DataDependenceGraph
+from .opcode import Opcode
+
+
+class RegionKind(enum.Enum):
+    """The flavour of scheduling unit a region was formed as."""
+
+    BASIC_BLOCK = "basic_block"
+    TRACE = "trace"
+    SUPERBLOCK = "superblock"
+    HYPERBLOCK = "hyperblock"
+    TREEGION = "treegion"
+
+
+@dataclass
+class Region:
+    """One scheduling unit: a named dependence graph plus metadata.
+
+    Attributes:
+        name: Region label, e.g. ``"jacobi.body"``.
+        ddg: The dependence graph to schedule.
+        kind: How the region was formed.
+        trip_count: How many times this region executes in the benchmark;
+            used by the harness to weight region cycle counts into a
+            whole-program cycle total.
+    """
+
+    name: str
+    ddg: DataDependenceGraph
+    kind: RegionKind = RegionKind.TRACE
+    trip_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.trip_count < 1:
+            raise ValueError("trip_count must be >= 1")
+
+    def live_ins(self) -> List[int]:
+        """uids of LIVE_IN pseudo-instructions."""
+        return [i.uid for i in self.ddg if i.opcode is Opcode.LIVE_IN]
+
+    def live_outs(self) -> List[int]:
+        """uids of LIVE_OUT pseudo-instructions."""
+        return [i.uid for i in self.ddg if i.opcode is Opcode.LIVE_OUT]
+
+    def real_instructions(self) -> List[int]:
+        """uids of instructions that occupy issue slots (non-pseudo)."""
+        return [i.uid for i in self.ddg if not i.is_pseudo]
+
+    def __len__(self) -> int:
+        return len(self.ddg)
+
+
+@dataclass
+class Program:
+    """A benchmark: a list of regions with a name.
+
+    The harness schedules each region independently and combines cycle
+    counts weighted by trip counts, mirroring how Rawcc and Chorus handle
+    one scheduling trace at a time.
+    """
+
+    name: str
+    regions: List[Region] = field(default_factory=list)
+
+    def add(self, region: Region) -> Region:
+        """Append ``region`` and return it."""
+        self.regions.append(region)
+        return region
+
+    def total_instructions(self) -> int:
+        """Total static instruction count across regions."""
+        return sum(len(r) for r in self.regions)

@@ -1,0 +1,122 @@
+"""Superblock formation by tail duplication (Hwu et al., 1993).
+
+A trace with *side entrances* (control entering mid-trace from outside)
+is awkward to schedule: code moved across a side entrance must be
+compensated.  Superblock formation removes side entrances by *tail
+duplication*: every block of a trace reachable from off-trace
+predecessors is cloned, and the off-trace edges are redirected to the
+clone chain.  The result is a CFG whose hot traces have a single entry,
+which our straight-line region lowering then models exactly.
+
+The paper lists superblocks among the scheduling units convergent
+scheduling operates on; this module lets the front end produce them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .cfg import BasicBlock, ControlFlowGraph
+from .regions import Program, RegionKind
+from .traces import form_traces, lower_trace
+
+
+def _clone_name(name: str, taken: Set[str]) -> str:
+    candidate = f"{name}.dup"
+    index = 2
+    while candidate in taken:
+        candidate = f"{name}.dup{index}"
+        index += 1
+    return candidate
+
+
+def tail_duplicate(cfg: ControlFlowGraph, max_freq_ratio: float = 4.0) -> ControlFlowGraph:
+    """Return a new CFG whose traces have no side entrances.
+
+    Traces are formed on ``cfg``; for each trace, blocks after the head
+    that have off-trace predecessors start a duplicated tail: the
+    off-trace edges are redirected to clones of the remaining trace
+    blocks, while the on-trace fall-through keeps the originals.  Block
+    frequencies are split accordingly, so downstream trip counts stay
+    meaningful.
+    """
+    traces = form_traces(cfg, max_freq_ratio=max_freq_ratio)
+    out = ControlFlowGraph(cfg.name, entry=cfg.entry, inputs=set(cfg.inputs))
+    taken: Set[str] = set()
+    for block in cfg.blocks():
+        clone = out.add_block(block.name)
+        clone.stmts = list(block.stmts)
+        taken.add(block.name)
+        out.set_frequency(block.name, cfg.frequency(block.name))
+
+    # Map (trace, position) for side-entrance detection.
+    trace_of: Dict[str, List[str]] = {}
+    for trace in traces:
+        for name in trace:
+            trace_of[name] = trace
+
+    redirected: Dict[str, str] = {}  # original edge target -> clone name
+    for trace in traces:
+        trace_set = set(trace)
+        # Find the first side-entered position (after the head).
+        duplicate_from = None
+        for position, name in enumerate(trace[1:], start=1):
+            side = [
+                e for e in cfg.predecessors(name) if e.src not in trace_set
+            ]
+            if side:
+                duplicate_from = position
+                break
+        if duplicate_from is None:
+            continue
+        # Clone the tail once; side entrances land on the clones.
+        tail = trace[duplicate_from:]
+        clones: Dict[str, str] = {}
+        for name in tail:
+            clone_name = _clone_name(name, taken)
+            taken.add(clone_name)
+            clone = out.add_block(clone_name)
+            clone.stmts = list(cfg.block(name).stmts)
+            clones[name] = clone_name
+        # Wire the clone chain like the original tail, including its
+        # off-trace exits.
+        for name in tail:
+            for e in cfg.successors(name):
+                dst = clones.get(e.dst, e.dst) if e.dst in trace_set else e.dst
+                out.add_edge(clones[name], dst, e.probability)
+        redirected.update({name: clones[name] for name in tail})
+        # Split frequencies: side-entrance mass moves to the clones.
+        for name in tail:
+            side_mass = sum(
+                cfg.frequency(e.src) * e.probability
+                for e in cfg.predecessors(name)
+                if e.src not in trace_set
+            )
+            original = cfg.frequency(name)
+            out.set_frequency(clones[name], min(side_mass, original))
+            out.set_frequency(name, max(original - side_mass, 0.0))
+
+    # Original edges: redirect side entrances into the clones.
+    for block in cfg.blocks():
+        for e in cfg.successors(block.name):
+            trace = trace_of.get(e.dst)
+            same_trace = trace is not None and block.name in trace
+            if not same_trace and e.dst in redirected:
+                out.add_edge(block.name, redirected[e.dst], e.probability)
+            else:
+                out.add_edge(block.name, e.dst, e.probability)
+    return out
+
+
+def program_from_cfg_superblocks(cfg: ControlFlowGraph) -> Program:
+    """Tail-duplicate ``cfg``, re-form traces, and lower each as a
+    superblock region."""
+    duplicated = tail_duplicate(cfg)
+    duplicated.validate()
+    live_in, live_out = duplicated.liveness()
+    program = Program(duplicated.name)
+    for trace in form_traces(duplicated):
+        region = lower_trace(duplicated, trace, live_in, live_out)
+        region.kind = RegionKind.SUPERBLOCK
+        program.add(region)
+    return program

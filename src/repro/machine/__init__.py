@@ -1,0 +1,29 @@
+"""Spatial machine models: clustered VLIW (Chorus) and the Raw mesh."""
+
+from .fu import Cluster, FunctionalUnit
+from .machine import CommResource, Machine
+from .raw import RawMachine, raw_with_tiles
+from .switchgen import (
+    Port,
+    SwitchOp,
+    generate_switch_code,
+    render_switch_program,
+    validate_switch_code,
+)
+from .vliw import ClusteredVLIW, single_cluster_vliw
+
+__all__ = [
+    "Cluster",
+    "ClusteredVLIW",
+    "CommResource",
+    "FunctionalUnit",
+    "Machine",
+    "Port",
+    "SwitchOp",
+    "RawMachine",
+    "generate_switch_code",
+    "raw_with_tiles",
+    "render_switch_program",
+    "validate_switch_code",
+    "single_cluster_vliw",
+]

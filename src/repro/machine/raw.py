@@ -1,0 +1,151 @@
+"""The MIT Raw machine model.
+
+Raw (Taylor et al., IEEE Micro 2002) is a mesh of tiles; each tile has
+its own instruction memory, data memory, registers, single-issue MIPS
+R4000-style pipeline with an FPU, and a programmable switch.  Scalar
+values move between tiles over a compiler-routed *static network* whose
+ports are register-mapped.  Latency between neighbouring tiles is three
+cycles; each additional hop adds one cycle.
+
+The model here exposes a tile's compute as a single functional unit
+(single issue) and models static-network transfers as a pipelined
+traversal of directed mesh links under dimension-ordered (X-then-Y)
+routing.  Two messages may not occupy the same directed link in the same
+cycle, which is where network contention comes from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.opcode import FuncClass, LatencyModel
+from .fu import Cluster, FunctionalUnit
+from .machine import CommResource, Machine
+
+#: Extra cycles beyond the hop count: injection into and ejection from
+#: the static network.  Neighbour latency = _NETWORK_OVERHEAD + 1 = 3.
+_NETWORK_OVERHEAD = 2
+
+
+def _raw_tile(index: int, registers: int) -> Cluster:
+    unit = FunctionalUnit(
+        "proc",
+        frozenset(
+            {FuncClass.IALU, FuncClass.IMUL, FuncClass.MEM, FuncClass.FPU, FuncClass.CONST}
+        ),
+    )
+    return Cluster(index=index, units=(unit,), registers=registers)
+
+
+class RawMachine(Machine):
+    """A ``rows x cols`` Raw mesh.
+
+    Args:
+        rows: Mesh rows.
+        cols: Mesh columns.
+        registers: Architected registers per tile.
+        latency_model: Optional latency overrides.
+    """
+
+    memory_affinity = "hard"
+    remote_mem_penalty = 0
+
+    def __init__(
+        self,
+        rows: int = 4,
+        cols: int = 4,
+        registers: int = 32,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        clusters = [_raw_tile(i, registers) for i in range(rows * cols)]
+        super().__init__(
+            clusters=clusters,
+            latency_model=latency_model or LatencyModel(),
+            name=f"raw{rows}x{cols}",
+        )
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        """(row, col) of ``tile``."""
+        if not 0 <= tile < self.n_clusters:
+            raise ValueError(f"tile {tile} out of range")
+        return divmod(tile, self.cols)
+
+    def tile_at(self, row: int, col: int) -> int:
+        """Tile index at (row, col)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coordinates ({row}, {col}) off the mesh")
+        return row * self.cols + col
+
+    def distance(self, src: int, dst: int) -> int:
+        """Manhattan distance in hops."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def route_path(self, src: int, dst: int) -> List[int]:
+        """Tiles visited by a dimension-ordered (X-then-Y) route,
+        inclusive of both endpoints."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        path = [self.tile_at(r1, c1)]
+        col = c1
+        while col != c2:
+            col += 1 if c2 > col else -1
+            path.append(self.tile_at(r1, col))
+        row = r1
+        while row != r2:
+            row += 1 if r2 > row else -1
+            path.append(self.tile_at(row, c2))
+        return path
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+
+    def comm_latency(self, src: int, dst: int) -> int:
+        """3 cycles to a neighbour, +1 per additional hop."""
+        if src == dst:
+            return 0
+        return _NETWORK_OVERHEAD + self.distance(src, dst)
+
+    def comm_resources(self, src: int, dst: int) -> Sequence[CommResource]:
+        """Injection port, each directed link along the XY route, and
+        the destination's ejection port.
+
+        Resource ``k`` is busy at cycle ``start + k`` as the message's
+        head word pipelines through the network.  The ejection port is
+        the processor's single register-mapped network-input register:
+        only one word per cycle may be delivered into a tile, which is
+        what makes the generated switch programs conflict-free
+        (:mod:`repro.machine.switchgen`).
+        """
+        if src == dst:
+            return ()
+        path = self.route_path(src, dst)
+        resources: List[CommResource] = [("inj", src, -1)]
+        for a, b in zip(path, path[1:]):
+            resources.append(("link", a, b))
+        resources.append(("ej", dst, -1))
+        return resources
+
+
+def raw_with_tiles(n_tiles: int, **kw) -> RawMachine:
+    """A Raw mesh with ``n_tiles`` tiles in the squarest shape available.
+
+    Matches the configurations in Table 2: 2 -> 1x2, 4 -> 2x2, 8 -> 2x4,
+    16 -> 4x4.
+    """
+    rows = 1
+    for r in range(int(n_tiles**0.5), 0, -1):
+        if n_tiles % r == 0:
+            rows = r
+            break
+    return RawMachine(rows=rows, cols=n_tiles // rows, **kw)

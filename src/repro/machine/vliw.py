@@ -1,0 +1,99 @@
+"""The Chorus clustered VLIW machine model.
+
+Section 5 of the paper: four identical clusters, each with four function
+units — one integer ALU, one integer ALU/memory unit, one floating point
+unit, and one transfer unit.  The transfer unit copies a register value
+to another cluster in one cycle.  Memory addresses are interleaved across
+clusters; a memory operation touching a remote bank pays a one-cycle
+penalty.  Instruction latencies are based on the MIPS R4000.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ir.opcode import FuncClass, LatencyModel
+from .fu import Cluster, FunctionalUnit
+from .machine import CommResource, Machine
+
+
+def _vliw_cluster(index: int, registers: int, with_fpu: bool = True) -> Cluster:
+    units = [
+        FunctionalUnit("ialu", frozenset({FuncClass.IALU, FuncClass.IMUL, FuncClass.CONST})),
+        FunctionalUnit(
+            "ialu_mem",
+            frozenset({FuncClass.IALU, FuncClass.IMUL, FuncClass.MEM, FuncClass.CONST}),
+        ),
+    ]
+    if with_fpu:
+        units.append(FunctionalUnit("fpu", frozenset({FuncClass.FPU})))
+    units.append(FunctionalUnit("xfer", frozenset({FuncClass.XFER})))
+    return Cluster(index=index, units=tuple(units), registers=registers)
+
+
+class ClusteredVLIW(Machine):
+    """A clustered VLIW with ``n_clusters`` identical clusters.
+
+    Any cluster can copy a value to any other in one cycle through its
+    transfer unit; the copy occupies the *sender's* transfer unit for one
+    cycle, so transfer bandwidth is one outgoing value per cluster per
+    cycle.
+
+    Args:
+        n_clusters: Number of clusters (the paper evaluates 4).
+        registers: Architected registers per cluster.
+        latency_model: Optional latency overrides.
+        fp_clusters: Clusters that get a floating-point unit; ``None``
+            (default) gives every cluster one.  A heterogeneous machine
+            exercises the paper's point that "some instructions cannot
+            be scheduled in all clusters in some architectures" — the
+            INITTIME pass squashes the infeasible cluster weights.
+    """
+
+    memory_affinity = "soft"
+    remote_mem_penalty = 1
+
+    def __init__(
+        self,
+        n_clusters: int = 4,
+        registers: int = 32,
+        latency_model: Optional[LatencyModel] = None,
+        fp_clusters: Optional[Sequence[int]] = None,
+    ) -> None:
+        fp_set = set(range(n_clusters)) if fp_clusters is None else set(fp_clusters)
+        for c in fp_set:
+            if not 0 <= c < n_clusters:
+                raise ValueError(f"fp cluster {c} out of range")
+        clusters = [
+            _vliw_cluster(i, registers, with_fpu=i in fp_set)
+            for i in range(n_clusters)
+        ]
+        name = f"vliw{n_clusters}"
+        if fp_clusters is not None and fp_set != set(range(n_clusters)):
+            name += f"f{len(fp_set)}"
+        super().__init__(
+            clusters=clusters,
+            latency_model=latency_model or LatencyModel(),
+            name=name,
+        )
+
+    def comm_latency(self, src: int, dst: int) -> int:
+        """One cycle between any distinct pair of clusters."""
+        return 0 if src == dst else 1
+
+    def comm_resources(self, src: int, dst: int) -> Sequence[CommResource]:
+        """A copy holds the sender's transfer unit for its single cycle."""
+        if src == dst:
+            return ()
+        return (("xfer", src, -1),)
+
+    def distance(self, src: int, dst: int) -> int:
+        """The inter-cluster bus is uniform: every distinct pair is 1 hop."""
+        return 0 if src == dst else 1
+
+
+def single_cluster_vliw(
+    registers: int = 32, latency_model: Optional[LatencyModel] = None
+) -> ClusteredVLIW:
+    """The 1-cluster baseline machine used for Figure 8 speedups."""
+    return ClusteredVLIW(n_clusters=1, registers=registers, latency_model=latency_model)

@@ -1,0 +1,14 @@
+"""Register pressure analysis and per-cluster linear-scan allocation."""
+
+from .linear_scan import AllocationResult, allocate_registers, spill_adjusted_cycles
+from .pressure import LiveInterval, PressureProfile, live_intervals, pressure_profile
+
+__all__ = [
+    "AllocationResult",
+    "LiveInterval",
+    "PressureProfile",
+    "allocate_registers",
+    "live_intervals",
+    "pressure_profile",
+    "spill_adjusted_cycles",
+]

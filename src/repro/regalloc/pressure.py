@@ -1,0 +1,123 @@
+"""Register pressure analysis over space-time schedules.
+
+Cluster assignment changes register pressure: values produced and
+consumed on one cluster occupy that cluster's register file, and every
+transferred value occupies a register on the receiving cluster too.
+This module measures per-cluster pressure over a concrete schedule —
+the quantity the paper's combined assignment/scheduling/allocation
+discussion cares about — and feeds the linear-scan allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from ..schedulers.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class LiveInterval:
+    """One value's residency in one cluster's register file.
+
+    Attributes:
+        value: Producing instruction uid.
+        cluster: Register file holding the value.
+        start: Cycle the value enters the file (producer finish or
+            transfer arrival).
+        end: Last cycle the value is read on this cluster (the transfer
+            issue counts as a read on the source).
+    """
+
+    value: int
+    cluster: int
+    start: int
+    end: int
+
+    def overlaps(self, cycle: int) -> bool:
+        """True if the value occupies a register at ``cycle``."""
+        return self.start <= cycle <= self.end
+
+
+def live_intervals(
+    region: Region, machine: Machine, schedule: Schedule
+) -> List[LiveInterval]:
+    """Every value's live interval in every register file it visits.
+
+    A value with no readers on a cluster still gets a zero-length
+    interval at its definition (it occupies the write port's register
+    for that cycle).  LIVE_OUT values are held to the end of the
+    schedule on their cluster, as they must survive the region.
+    """
+    ddg = region.ddg
+    makespan = schedule.makespan
+    # (value, cluster) -> [start, end]
+    spans: Dict[Tuple[int, int], List[int]] = {}
+
+    def note(value: int, cluster: int, start: int, end: int) -> None:
+        key = (value, cluster)
+        if key in spans:
+            spans[key][0] = min(spans[key][0], start)
+            spans[key][1] = max(spans[key][1], end)
+        else:
+            spans[key] = [start, end]
+
+    for uid, op in schedule.ops.items():
+        inst = ddg.instruction(uid)
+        if inst.defines_value and not inst.is_pseudo:
+            note(uid, op.cluster, op.finish, op.finish)
+        for operand in inst.operands:
+            producer = schedule.ops[operand]
+            arrival = schedule.arrival_of(operand, op.cluster)
+            if arrival is not None:
+                note(operand, op.cluster, arrival, op.start)
+        if inst.opcode.value == "live_out":
+            for operand in inst.operands:
+                note(operand, op.cluster, op.start, makespan)
+    for ev in schedule.comms:
+        # The value must stay alive on the source until the send issues.
+        producer = schedule.ops[ev.producer_uid]
+        note(ev.producer_uid, producer.cluster, producer.finish, ev.issue)
+        note(ev.producer_uid, ev.dst, ev.arrival, ev.arrival)
+    return [
+        LiveInterval(value=v, cluster=c, start=s, end=e)
+        for (v, c), (s, e) in sorted(spans.items())
+    ]
+
+
+@dataclass
+class PressureProfile:
+    """Max and mean simultaneous live values per cluster."""
+
+    max_pressure: Dict[int, int] = field(default_factory=dict)
+    mean_pressure: Dict[int, float] = field(default_factory=dict)
+
+    def peak(self) -> int:
+        """The highest pressure on any cluster."""
+        return max(self.max_pressure.values(), default=0)
+
+
+def pressure_profile(
+    region: Region, machine: Machine, schedule: Schedule
+) -> PressureProfile:
+    """Per-cluster register pressure over the schedule's lifetime."""
+    intervals = live_intervals(region, machine, schedule)
+    profile = PressureProfile()
+    makespan = max(schedule.makespan, 1)
+    for cluster in range(machine.n_clusters):
+        deltas = [0] * (makespan + 2)
+        for iv in intervals:
+            if iv.cluster != cluster:
+                continue
+            deltas[iv.start] += 1
+            deltas[min(iv.end + 1, makespan + 1)] -= 1
+        level, peak, total = 0, 0, 0
+        for t in range(makespan + 1):
+            level += deltas[t]
+            peak = max(peak, level)
+            total += level
+        profile.max_pressure[cluster] = peak
+        profile.mean_pressure[cluster] = total / (makespan + 1)
+    return profile

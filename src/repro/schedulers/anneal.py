@@ -1,0 +1,110 @@
+"""Simulated-annealing partitioning (Leupers, PACT 2000).
+
+The paper's related work surveys combined approaches; Leupers's is an
+iterative scheduler/partitioner for clustered VLIW DSPs driven by
+simulated annealing.  This implementation anneals over cluster
+assignments directly: moves reassign one instruction to another feasible
+cluster, the objective is the same schedule-length estimator PCC's
+descent uses, and the final assignment is handed to the shared list
+scheduler.
+
+Slower than every other baseline per quality point (each move
+re-estimates the whole graph) but able to escape the local minima that
+trap PCC's greedy descent — useful as an upper-ish reference point in
+ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..ir.ddg import DataDependenceGraph
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from .base import Scheduler
+from .list_scheduler import ListScheduler, feasible_clusters
+from .pcc import PartialComponentClustering
+from .schedule import Schedule
+
+
+class SimulatedAnnealingScheduler(Scheduler):
+    """Anneal instruction-to-cluster assignments, then list schedule.
+
+    Args:
+        moves: Annealing steps (each proposes one reassignment).
+        start_temperature: Initial acceptance temperature, in estimated
+            cycles; uphill moves of cost ``d`` are accepted with
+            probability ``exp(-d / T)``.
+        cooling: Geometric cooling factor applied every move.
+        seed: RNG seed; the whole anneal is deterministic given it.
+    """
+
+    name = "anneal"
+
+    def __init__(
+        self,
+        moves: int = 400,
+        start_temperature: float = 8.0,
+        cooling: float = 0.99,
+        seed: int = 0,
+    ) -> None:
+        if moves < 0:
+            raise ValueError("moves must be non-negative")
+        if not 0.0 < cooling <= 1.0:
+            raise ValueError("cooling must be in (0, 1]")
+        self.moves = moves
+        self.start_temperature = start_temperature
+        self.cooling = cooling
+        self.seed = seed
+        # Reuse PCC's schedule-length estimator as the energy function.
+        self._estimator = PartialComponentClustering()
+
+    def assign(self, ddg: DataDependenceGraph, machine: Machine) -> Dict[int, int]:
+        """Run the anneal; returns uid -> cluster."""
+        rng = np.random.default_rng(self.seed)
+        movable: List[int] = []
+        assignment: Dict[int, int] = {}
+        options: Dict[int, List[int]] = {}
+        for inst in ddg:
+            feasible = feasible_clusters(inst, machine)
+            options[inst.uid] = feasible
+            assignment[inst.uid] = feasible[int(rng.integers(len(feasible)))]
+            if len(feasible) > 1:
+                movable.append(inst.uid)
+        if not movable:
+            return assignment
+
+        def energy() -> float:
+            vector = [assignment[uid] for uid in range(len(ddg))]
+            return self._estimator._estimate(ddg, vector, machine)
+
+        current = energy()
+        best = dict(assignment)
+        best_energy = current
+        temperature = self.start_temperature
+        for _ in range(self.moves):
+            uid = movable[int(rng.integers(len(movable)))]
+            old = assignment[uid]
+            choices = [c for c in options[uid] if c != old]
+            assignment[uid] = choices[int(rng.integers(len(choices)))]
+            candidate = energy()
+            delta = candidate - current
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                current = candidate
+                if candidate < best_energy:
+                    best_energy = candidate
+                    best = dict(assignment)
+            else:
+                assignment[uid] = old
+            temperature *= self.cooling
+        return best
+
+    def schedule(self, region: Region, machine: Machine) -> Schedule:
+        """Annealed assignment followed by critical-path list scheduling."""
+        assignment = self.assign(region.ddg, machine)
+        return ListScheduler(name=self.name).schedule(
+            region, machine, assignment=assignment
+        )

@@ -1,0 +1,30 @@
+"""The scheduler interface shared by convergent scheduling and baselines.
+
+A scheduler maps a region onto a machine, producing a
+:class:`~repro.schedulers.schedule.Schedule`.  The benchmark harness
+treats every algorithm — convergent, UAS, PCC, the Rawcc-style space-time
+scheduler, and the single-cluster reference — uniformly through this
+interface.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from .schedule import Schedule
+
+
+class Scheduler(abc.ABC):
+    """Base class for assignment+scheduling algorithms."""
+
+    #: Short name used in result tables, e.g. ``"uas"``.
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, region: Region, machine: Machine) -> Schedule:
+        """Produce a legal space-time schedule for ``region``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

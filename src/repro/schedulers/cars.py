@@ -1,0 +1,117 @@
+"""CARS: combined cluster assignment, scheduling, and register
+allocation (Kailas, Ebcioglu, Agrawala — HPCA-7).
+
+The third combined approach in the paper's related work: like UAS it
+assigns clusters inside a cycle-driven list scheduler, but its cluster
+choice also tracks each register file's occupancy and steers
+instructions away from clusters about to exhaust their registers —
+integrating the register allocator's concern into every scheduling
+decision (and, like all three, making every decision irrevocably).
+
+Our implementation extends the shared list scheduler: the greedy
+earliest-completion choice is augmented with a register-occupancy
+penalty derived from the values currently live in each cluster's file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..ir.ddg import DataDependenceGraph
+from ..ir.instruction import Instruction
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from .base import Scheduler
+from .list_scheduler import ListScheduler, effective_latency, feasible_clusters
+from .schedule import Schedule
+
+
+class CarsScheduler(ListScheduler, Scheduler):
+    """UAS-style unified scheduling with register awareness.
+
+    Args:
+        register_weight: Cycles of penalty per fully occupied register
+            file; the penalty ramps linearly once occupancy passes
+            ``threshold`` of the file.
+        threshold: Occupancy fraction at which the penalty starts.
+    """
+
+    name = "cars"
+
+    def __init__(self, register_weight: float = 8.0, threshold: float = 0.75) -> None:
+        super().__init__(name="cars", choose_clusters=True)
+        if register_weight < 0:
+            raise ValueError("register_weight must be non-negative")
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.register_weight = register_weight
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def live_values(ddg: DataDependenceGraph, state, cluster: int) -> int:
+        """Values resident in ``cluster``'s register file right now.
+
+        A value occupies a register from its producer's placement until
+        every consumer is scheduled; transferred copies occupy the
+        destination file too.
+        """
+        live = 0
+        consumers: Dict[int, int] = {}
+        for uid, placed_cluster in state.cluster.items():
+            inst = ddg.instruction(uid)
+            if not inst.defines_value or inst.is_pseudo:
+                continue
+            remaining = sum(
+                1
+                for e in ddg.successors(uid)
+                if e.carries_value and e.dst not in state.cluster
+            )
+            if remaining == 0:
+                continue
+            if placed_cluster == cluster:
+                live += 1
+            elif (uid, cluster) in state.arrivals:
+                live += 1
+        return live
+
+    def _pick_cluster(
+        self,
+        inst: Instruction,
+        ddg: DataDependenceGraph,
+        machine: Machine,
+        assignment: Optional[Mapping[int, int]],
+        state,
+    ) -> int:
+        candidates = feasible_clusters(inst, machine)
+        if len(candidates) == 1 or assignment is not None:
+            return super()._pick_cluster(inst, ddg, machine, assignment, state)
+        loads = state.schedule.cluster_loads(machine.n_clusters)
+        best_key = None
+        best_cluster = candidates[0]
+        for c in candidates:
+            start = self._earliest_start(inst, c, ddg, machine, state, commit=False)
+            completion = start + effective_latency(inst, c, machine)
+            budget = max(1, machine.clusters[c].registers)
+            occupancy = self.live_values(ddg, state, c) / budget
+            penalty = self.register_weight * max(0.0, occupancy - self.threshold)
+            key = (completion + penalty, loads[c], c)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_cluster = c
+        return best_cluster
+
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        region: Region,
+        machine: Machine,
+        assignment: Optional[Mapping[int, int]] = None,
+        priorities: Optional[Mapping[int, float]] = None,
+    ) -> Schedule:
+        """Assign, schedule, and register-steer in one greedy sweep."""
+        return super().schedule(
+            region, machine, assignment=assignment, priorities=priorities
+        )

@@ -1,0 +1,206 @@
+"""PCC: Partial Component Clustering (Desoli, HPL-98-13).
+
+The second clustered-VLIW baseline of the paper.  PCC works in three
+stages:
+
+1. **Partial components** — walk the dependence graph bottom-up,
+   critical-path first, growing chains of instructions; component size
+   is capped by the threshold ``theta`` (Desoli's :math:`\\theta_{th}`,
+   which trades schedule quality against compile time).
+2. **Initial assignment** — components are dealt to clusters by simple
+   load-balancing and communication affinity; components anchored by
+   preplaced instructions go to their home cluster (the paper augments
+   PCC with preplacement awareness).
+3. **Iterative descent** — repeatedly try moving each component to every
+   other cluster, keeping any move that improves an estimated schedule
+   length; stop when a full sweep finds no improvement.
+
+The descent's repeated whole-graph re-estimation is what makes PCC's
+compile time grow super-linearly (the paper's Figure 10); the estimator
+below intentionally preserves that cost shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..ir.ddg import DataDependenceGraph
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from .base import Scheduler
+from .list_scheduler import ListScheduler, feasible_clusters
+from .schedule import Schedule
+
+
+@dataclass
+class _Component:
+    """A partial component: a set of instructions assigned as a unit."""
+
+    index: int
+    members: List[int] = field(default_factory=list)
+    #: Home cluster forced by a preplaced member, if any.
+    home: Optional[int] = None
+
+
+class PartialComponentClustering(Scheduler):
+    """PCC cluster assignment followed by list scheduling.
+
+    Args:
+        theta: Maximum component size.  Small components give the descent
+            finer moves (better schedules, slower compiles).
+        max_sweeps: Safety cap on descent sweeps.
+        comm_weight: Estimated cycles charged per cut data edge when
+            scoring an assignment.
+    """
+
+    name = "pcc"
+
+    def __init__(self, theta: int = 6, max_sweeps: int = 8, comm_weight: float = 1.0) -> None:
+        if theta < 1:
+            raise ValueError("theta must be >= 1")
+        self.theta = theta
+        self.max_sweeps = max_sweeps
+        self.comm_weight = comm_weight
+
+    # ------------------------------------------------------------------
+    # Stage 1: component formation
+    # ------------------------------------------------------------------
+
+    def build_components(self, ddg: DataDependenceGraph) -> List[_Component]:
+        """Grow components bottom-up, critical-path first.
+
+        Starting from the instruction with the longest tail not yet in a
+        component, a chain is grown upward through the predecessor on
+        the longest incoming path, stopping at ``theta`` members or when
+        it would swallow a second preplaced home.
+        """
+        tail = ddg.tail_length()
+        est = ddg.earliest_start()
+        assigned: Set[int] = set()
+        components: List[_Component] = []
+        order = sorted(range(len(ddg)), key=lambda i: -(est[i] + tail[i]))
+        for start in order:
+            if start in assigned:
+                continue
+            comp = _Component(index=len(components))
+            current: Optional[int] = start
+            while current is not None and len(comp.members) < self.theta:
+                home = ddg.instruction(current).home_cluster
+                if home is not None:
+                    if comp.home is not None and comp.home != home:
+                        break
+                    comp.home = home
+                comp.members.append(current)
+                assigned.add(current)
+                preds = [
+                    e.src
+                    for e in ddg.predecessors(current)
+                    if e.src not in assigned
+                ]
+                current = max(preds, key=lambda p: est[p] + tail[p]) if preds else None
+            components.append(comp)
+        return components
+
+    # ------------------------------------------------------------------
+    # Stage 2 + 3: assignment and iterative descent
+    # ------------------------------------------------------------------
+
+    def _estimate(
+        self,
+        ddg: DataDependenceGraph,
+        cluster_of: Sequence[int],
+        machine: Machine,
+    ) -> float:
+        """Cheap schedule-length estimate for an assignment.
+
+        The max of (a) the heaviest cluster's issue-bound length and (b)
+        the critical path stretched by the communication its cut edges
+        need — the two classical lower bounds, which is also how Desoli's
+        estimator scores candidate moves.
+        """
+        n_clusters = machine.n_clusters
+        loads = [0.0] * n_clusters
+        for inst in ddg:
+            if not inst.is_pseudo:
+                loads[cluster_of[inst.uid]] += 1.0
+        width = max(1, machine.clusters[0].issue_width)
+        load_bound = max(loads) / width if loads else 0.0
+
+        # Longest path where cut data edges pay the communication price.
+        length: Dict[int, float] = {}
+        for uid in ddg.topological_order():
+            best = 0.0
+            for e in ddg.predecessors(uid):
+                cost = e.latency
+                if e.carries_value and cluster_of[e.src] != cluster_of[e.dst]:
+                    cost += self.comm_weight * machine.comm_latency(
+                        cluster_of[e.src], cluster_of[e.dst]
+                    )
+                best = max(best, length[e.src] + cost)
+            length[uid] = best
+        path_bound = max(length.values(), default=0.0)
+        return max(load_bound, path_bound)
+
+    def assign(self, ddg: DataDependenceGraph, machine: Machine) -> Dict[int, int]:
+        """Run all three PCC stages; return uid -> cluster."""
+        components = self.build_components(ddg)
+        n_clusters = machine.n_clusters
+        comp_of = {uid: c.index for c in components for uid in c.members}
+
+        # Initial assignment: homes first, then round-robin the rest by
+        # decreasing size for balance.
+        placement: List[int] = [0] * len(components)
+        loads = [0.0] * n_clusters
+        for comp in components:
+            if comp.home is not None:
+                placement[comp.index] = comp.home
+                loads[comp.home] += len(comp.members)
+        rotor = 0
+        for comp in sorted(components, key=lambda c: -len(c.members)):
+            if comp.home is not None:
+                continue
+            lightest = min(range(n_clusters), key=lambda c: (loads[c], (c - rotor) % n_clusters))
+            rotor += 1
+            placement[comp.index] = lightest
+            loads[lightest] += len(comp.members)
+
+        def cluster_vector() -> List[int]:
+            return [placement[comp_of[uid]] for uid in range(len(ddg))]
+
+        # Iterative descent.
+        best_score = self._estimate(ddg, cluster_vector(), machine)
+        for _sweep in range(self.max_sweeps):
+            improved = False
+            for comp in components:
+                if comp.home is not None:
+                    continue
+                original = placement[comp.index]
+                for candidate in range(n_clusters):
+                    if candidate == original:
+                        continue
+                    placement[comp.index] = candidate
+                    score = self._estimate(ddg, cluster_vector(), machine)
+                    if score < best_score - 1e-9:
+                        best_score = score
+                        original = candidate
+                        improved = True
+                placement[comp.index] = original
+            if not improved:
+                break
+
+        # Per-instruction feasibility always wins over the component.
+        assignment: Dict[int, int] = {}
+        for inst in ddg:
+            chosen = placement[comp_of[inst.uid]]
+            feasible = feasible_clusters(inst, machine)
+            assignment[inst.uid] = chosen if chosen in feasible else feasible[0]
+        return assignment
+
+    # ------------------------------------------------------------------
+
+    def schedule(self, region: Region, machine: Machine) -> Schedule:
+        """PCC assignment followed by critical-path list scheduling."""
+        assignment = self.assign(region.ddg, machine)
+        scheduler = ListScheduler(name=self.name)
+        return scheduler.schedule(region, machine, assignment=assignment)

@@ -1,0 +1,40 @@
+"""Single-cluster reference scheduling.
+
+Speedups in the paper are relative to one cluster (Figure 8) or one tile
+(Table 2).  :class:`SingleClusterScheduler` places everything on cluster
+0 — on a 1-cluster machine this is plain critical-path list scheduling
+and serves as the speedup denominator.
+"""
+
+from __future__ import annotations
+
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from .base import Scheduler
+from .list_scheduler import ListScheduler, SchedulingError, feasible_clusters
+from .schedule import Schedule
+
+
+class SingleClusterScheduler(Scheduler):
+    """Everything on cluster 0; pure temporal list scheduling."""
+
+    name = "single"
+
+    def schedule(self, region: Region, machine: Machine) -> Schedule:
+        """Schedule ``region`` entirely on cluster 0 of ``machine``.
+
+        Raises :class:`SchedulingError` if some instruction cannot
+        legally run there (e.g. hard-preplaced elsewhere) — use a
+        1-cluster machine for baselines.
+        """
+        assignment = {}
+        for inst in region.ddg:
+            feasible = feasible_clusters(inst, machine)
+            if 0 not in feasible:
+                raise SchedulingError(
+                    f"{inst.label()} cannot run on cluster 0 (feasible: {feasible}); "
+                    "single-cluster baselines should target a 1-cluster machine"
+                )
+            assignment[inst.uid] = 0
+        scheduler = ListScheduler(name=self.name)
+        return scheduler.schedule(region, machine, assignment=assignment)

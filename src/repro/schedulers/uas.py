@@ -1,0 +1,40 @@
+"""UAS: Unified Assign and Schedule (Ozer, Banerjia, Conte — MICRO-31).
+
+UAS integrates cluster assignment into the list scheduler itself: when
+an instruction reaches the head of the ready queue, the scheduler
+evaluates the candidate clusters and commits to the one that completes
+the instruction earliest, accounting for the transfers its operands
+would need.  Every decision is immediate and irrevocable — the contrast
+the convergent scheduling paper draws.
+
+As in the paper's evaluation, the baseline is augmented with
+preplacement support: the home cluster of a preplaced instruction gets
+absolute priority (the modified CPSC heuristic), which here falls out of
+the shared feasibility rules — a preplaced instruction's feasible set is
+exactly its home.
+"""
+
+from __future__ import annotations
+
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from .base import Scheduler
+from .list_scheduler import ListScheduler
+from .schedule import Schedule
+
+
+class UnifiedAssignAndSchedule(Scheduler):
+    """Cycle-driven combined assignment and scheduling.
+
+    Ready instructions are prioritized by critical-path distance (the
+    longest latency chain below them), the CPSC ordering of the original
+    paper; clusters are chosen greedily by earliest completion time,
+    breaking ties toward the lighter-loaded cluster.
+    """
+
+    name = "uas"
+
+    def schedule(self, region: Region, machine: Machine) -> Schedule:
+        """Assign and schedule ``region`` in a single greedy sweep."""
+        scheduler = ListScheduler(name=self.name, choose_clusters=True)
+        return scheduler.schedule(region, machine, assignment=None)

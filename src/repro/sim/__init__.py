@@ -1,0 +1,17 @@
+"""Schedule simulator: validation, dataflow replay, cycle accounting."""
+
+from .dynamic import DynamicReport, crosscheck, dynamic_execute
+from .interpreter import evaluate_instruction, reference_values, synthetic_load_value
+from .simulator import SimulationError, SimulationReport, simulate
+
+__all__ = [
+    "DynamicReport",
+    "SimulationError",
+    "crosscheck",
+    "dynamic_execute",
+    "SimulationReport",
+    "evaluate_instruction",
+    "reference_values",
+    "simulate",
+    "synthetic_load_value",
+]

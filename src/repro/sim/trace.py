@@ -1,0 +1,95 @@
+"""Human-readable execution traces of schedules.
+
+Rendering helpers for debugging and the examples: a Gantt-style
+timeline of every cluster's issue slots with transfers drawn between
+them, and a per-cycle narration of what the machine does.  Pure
+presentation — nothing here affects any measured number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from ..schedulers.schedule import Schedule
+
+
+def gantt(
+    region: Region,
+    machine: Machine,
+    schedule: Schedule,
+    max_cycles: int = 48,
+    cell_width: int = 9,
+) -> str:
+    """A cycle-by-cluster grid of instruction mnemonics.
+
+    Occupied latency cycles render as ``.``, transfers as ``~`` rows
+    underneath, so pipeline depth and network traffic are visible at a
+    glance.
+    """
+    ddg = region.ddg
+    span = min(schedule.makespan, max_cycles)
+    grid: Dict[Tuple[int, int], str] = {}
+    for op in schedule.ops.values():
+        inst = ddg.instruction(op.uid)
+        if inst.is_pseudo:
+            continue
+        label = f"{op.uid}:{inst.opcode.value}"[: cell_width - 1]
+        grid[(op.start, op.cluster)] = label
+        for t in range(op.start + 1, min(op.finish, span)):
+            grid.setdefault((t, op.cluster), ".")
+    lines = []
+    header = "cycle |" + "|".join(
+        f" c{c}".ljust(cell_width) for c in range(machine.n_clusters)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    transfers_by_cycle: Dict[int, List[str]] = {}
+    for ev in schedule.comms:
+        transfers_by_cycle.setdefault(ev.issue, []).append(
+            f"v{ev.producer_uid}: c{ev.src}->c{ev.dst} (arrives @{ev.arrival})"
+        )
+    for t in range(span):
+        cells = "|".join(
+            f" {grid.get((t, c), '')}".ljust(cell_width)
+            for c in range(machine.n_clusters)
+        )
+        lines.append(f"{t:5d} |{cells}")
+        for note in transfers_by_cycle.get(t, []):
+            lines.append(f"      ~ {note}")
+    if schedule.makespan > max_cycles:
+        lines.append(f"... ({schedule.makespan - max_cycles} more cycles)")
+    return "\n".join(lines)
+
+
+def narrate(
+    region: Region,
+    machine: Machine,
+    schedule: Schedule,
+    first: int = 0,
+    last: Optional[int] = None,
+) -> str:
+    """Cycle-by-cycle prose: issues, completions, sends, deliveries."""
+    ddg = region.ddg
+    last = schedule.makespan if last is None else last
+    events: Dict[int, List[str]] = {}
+
+    def note(cycle: int, text: str) -> None:
+        events.setdefault(cycle, []).append(text)
+
+    for op in schedule.ops.values():
+        inst = ddg.instruction(op.uid)
+        if inst.is_pseudo:
+            continue
+        note(op.start, f"c{op.cluster} issues {inst.label()}")
+        if op.latency > 1:
+            note(op.finish, f"c{op.cluster} completes {inst.label()}")
+    for ev in schedule.comms:
+        note(ev.issue, f"c{ev.src} sends v{ev.producer_uid} toward c{ev.dst}")
+        note(ev.arrival, f"c{ev.dst} receives v{ev.producer_uid}")
+    lines = []
+    for cycle in range(first, min(last, schedule.makespan) + 1):
+        for text in events.get(cycle, []):
+            lines.append(f"@{cycle:<4d} {text}")
+    return "\n".join(lines)

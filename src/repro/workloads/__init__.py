@@ -1,0 +1,32 @@
+"""Benchmark kernels, suites, congruence analysis, synthetic graphs."""
+
+from .congruence import apply_congruence, clear_preplacement
+from .interregion import assign_cross_region_homes, cross_region_affinity
+from .kernels import KERNELS
+from .programs import partial_sums_program, stencil_pipeline
+from .suite import (
+    LOW_PREPLACEMENT,
+    RAW_SUITE,
+    VLIW_SUITE,
+    build_benchmark,
+    suite_for_machine,
+)
+from .synthetic import fat_graph, layered_graph, thin_graph
+
+__all__ = [
+    "KERNELS",
+    "LOW_PREPLACEMENT",
+    "RAW_SUITE",
+    "VLIW_SUITE",
+    "apply_congruence",
+    "assign_cross_region_homes",
+    "cross_region_affinity",
+    "build_benchmark",
+    "clear_preplacement",
+    "fat_graph",
+    "layered_graph",
+    "partial_sums_program",
+    "stencil_pipeline",
+    "suite_for_machine",
+    "thin_graph",
+]

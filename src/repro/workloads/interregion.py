@@ -1,0 +1,111 @@
+"""Inter-region placement of cross-region values.
+
+"When a value is live across multiple scheduling regions, its
+definitions and uses must be mapped to a consistent cluster" — the
+second source of preplaced instructions in the paper.  The compilers'
+conventions are simple (Rawcc: cluster of the first def/use the compiler
+encounters; Chorus: always the first cluster) and
+:func:`repro.workloads.congruence.apply_congruence` implements them.
+
+This module implements a smarter assignment as an optional drop-in: it
+scores each (value, cluster) pair by the value's *affinity* — how much
+preplaced mass sits near its defs and uses in each region — and assigns
+homes greedily by affinity margin with a load-balance tie-break.  Values
+whose neighbourhoods already lean somewhere get that cluster; the rest
+spread evenly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.opcode import Opcode
+from ..ir.regions import Program
+from ..machine.machine import Machine
+from .congruence import apply_congruence
+
+
+def _value_key(inst) -> Optional[str]:
+    """Cross-region values pair up by their variable name."""
+    return inst.name or None
+
+
+def cross_region_affinity(
+    program: Program, machine: Machine
+) -> Dict[str, np.ndarray]:
+    """Per-value affinity vectors over clusters.
+
+    For every named LIVE_IN/LIVE_OUT, sum the inverse graph distance to
+    each cluster's preplaced memory anchors within its region: values
+    used near bank anchors want those banks' clusters.
+    """
+    affinity: Dict[str, np.ndarray] = defaultdict(
+        lambda: np.zeros(machine.n_clusters)
+    )
+    for region in program.regions:
+        ddg = region.ddg
+        anchors: Dict[int, List[int]] = defaultdict(list)
+        for inst in ddg:
+            if inst.is_memory and inst.bank is not None:
+                anchors[machine.bank_home(inst.bank)].append(inst.uid)
+        if not anchors:
+            continue
+        distances = {
+            cluster: ddg.undirected_distances(uids)
+            for cluster, uids in anchors.items()
+        }
+        for inst in ddg:
+            if inst.opcode not in (Opcode.LIVE_IN, Opcode.LIVE_OUT):
+                continue
+            key = _value_key(inst)
+            if key is None:
+                continue
+            for cluster, dist in distances.items():
+                affinity[key][cluster] += 1.0 / (1 + dist[inst.uid])
+    return dict(affinity)
+
+
+def assign_cross_region_homes(program: Program, machine: Machine) -> Dict[str, int]:
+    """Pick one home cluster per named cross-region value.
+
+    Values are processed by decreasing affinity margin (most opinionated
+    first); each takes its best-affinity cluster, discounted by the load
+    already assigned there, so unopinionated values end up spread out.
+    Returns the value -> cluster map and annotates every matching
+    LIVE_IN/LIVE_OUT in place (memory banks are bound as in plain
+    congruence).
+    """
+    apply_congruence(program, machine)  # banks + fill-in conventions first
+    affinity = cross_region_affinity(program, machine)
+    names: List[str] = []
+    for region in program.regions:
+        for uid in region.live_ins() + region.live_outs():
+            key = _value_key(region.ddg.instruction(uid))
+            if key is not None and key not in names:
+                names.append(key)
+    load = np.zeros(machine.n_clusters)
+    homes: Dict[str, int] = {}
+
+    def margin(name: str) -> float:
+        vector = affinity.get(name)
+        if vector is None or vector.sum() == 0:
+            return 0.0
+        ordered = np.sort(vector)
+        return float(ordered[-1] - (ordered[-2] if len(ordered) > 1 else 0.0))
+
+    for name in sorted(names, key=lambda n: (-margin(n), n)):
+        vector = affinity.get(name, np.zeros(machine.n_clusters))
+        score = vector - load * (0.1 + vector.max() * 0.1)
+        home = int(np.argmax(score))
+        homes[name] = home
+        load[home] += 1.0
+    for region in program.regions:
+        for inst in region.ddg:
+            if inst.opcode in (Opcode.LIVE_IN, Opcode.LIVE_OUT):
+                key = _value_key(inst)
+                if key in homes:
+                    inst.home_cluster = homes[key]
+    return homes

@@ -1,0 +1,86 @@
+"""Multi-region whole-program workloads.
+
+The kernels in :mod:`repro.workloads.kernels` are single scheduling
+regions; these generators produce *programs* — several regions with
+values flowing between them — to exercise the cross-region machinery:
+live-in/live-out pseudo-instructions, the consistency requirement that
+turns them into preplacement, and the inter-region home assignment of
+:mod:`repro.workloads.interregion`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.builder import RegionBuilder, Value
+from ..ir.regions import Program
+
+
+def partial_sums_program(chunks: int = 4, per_chunk: int = 8, banks: int = 16) -> Program:
+    """Chunked reduction: one region per chunk, one combining region.
+
+    Each chunk region loads ``per_chunk`` values from its own bank range
+    and reduces them to a live-out partial sum; the final region reads
+    every partial (live-ins) and stores the total.  The partials are the
+    interesting values: each one's natural home is wherever its chunk's
+    banks live, which is exactly what affinity-based inter-region
+    assignment should discover.
+    """
+    program = Program("partial-sums")
+    for chunk in range(chunks):
+        b = RegionBuilder(f"chunk{chunk}", trip_count=1)
+        loads = [
+            b.load(
+                bank=(chunk * per_chunk + i) % banks,
+                name=f"x[{chunk}][{i}]",
+                array="x",
+            )
+            for i in range(per_chunk)
+        ]
+        b.live_out(b.reduce(loads), name=f"partial{chunk}")
+        program.add(b.build())
+    combine = RegionBuilder("combine", trip_count=1)
+    partials = [
+        combine.live_in(name=f"partial{chunk}") for chunk in range(chunks)
+    ]
+    total = combine.reduce(partials)
+    combine.store(total, bank=0, name="total", array="out")
+    program.add(combine.build())
+    return program
+
+
+def stencil_pipeline(stages: int = 3, width: int = 8, banks: int = 16) -> Program:
+    """A pipeline of stencil sweeps passing boundary values.
+
+    Stage ``k`` smooths its row and hands the two boundary elements to
+    stage ``k+1`` as live values (the interior flows through memory).
+    Models time-stepped solvers whose region boundaries carry a thin
+    live-value interface.
+    """
+    program = Program("stencil-pipeline")
+    left_in: Value | None = None
+    right_in: Value | None = None
+    for stage in range(stages):
+        b = RegionBuilder(f"sweep{stage}", trip_count=1)
+        lo = (
+            b.live_in(name=f"lo{stage}") if left_in is not None else b.li(0.0, name="lo0")
+        )
+        hi = (
+            b.live_in(name=f"hi{stage}") if right_in is not None else b.li(0.0, name="hi0")
+        )
+        cells = [
+            b.load(bank=(stage + c) % banks, name=f"a{stage}[{c}]", array=f"a{stage}")
+            for c in range(width)
+        ]
+        padded = [lo] + cells + [hi]
+        smoothed = []
+        third = b.li(1.0 / 3.0)
+        for c in range(width):
+            total = b.fadd(b.fadd(padded[c], padded[c + 1]), padded[c + 2])
+            value = b.fmul(total, third)
+            smoothed.append(value)
+            b.store(value, bank=(stage + c) % banks, name=f"a{stage + 1}[{c}]", array=f"a{stage + 1}")
+        left_in = b.live_out(smoothed[0], name=f"lo{stage + 1}")
+        right_in = b.live_out(smoothed[-1], name=f"hi{stage + 1}")
+        program.add(b.build())
+    return program

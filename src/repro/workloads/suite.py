@@ -1,0 +1,73 @@
+"""Benchmark suites, as evaluated in the paper.
+
+* :data:`RAW_SUITE` — the nine benchmarks of Table 2 / Figures 6 and 7
+  (Raw benchmark suite, Nasa7 kernels, Spec95 excerpts, sha).
+* :data:`VLIW_SUITE` — the seven benchmarks of Figures 8 and 9.
+
+:func:`build_benchmark` instantiates a kernel and binds its memory banks
+and cross-region values to a concrete machine via congruence analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..ir.regions import Program
+from ..machine.machine import Machine
+from .congruence import apply_congruence
+from .kernels import KERNELS
+
+#: Table 2 order.
+RAW_SUITE: Tuple[str, ...] = (
+    "cholesky",
+    "tomcatv",
+    "vpenta",
+    "mxm",
+    "fpppp-kernel",
+    "sha",
+    "swim",
+    "jacobi",
+    "life",
+)
+
+#: Figure 8 order.
+VLIW_SUITE: Tuple[str, ...] = (
+    "vvmul",
+    "rbsorf",
+    "yuv",
+    "tomcatv",
+    "mxm",
+    "fir",
+    "cholesky",
+)
+
+#: Benchmarks whose preplacement carries little information (the paper's
+#: explanation for where convergent scheduling loses on Raw).
+LOW_PREPLACEMENT: Tuple[str, ...] = ("fpppp-kernel", "sha")
+
+
+def build_benchmark(
+    name: str,
+    machine: Optional[Machine] = None,
+    **kernel_args,
+) -> Program:
+    """Build benchmark ``name``; apply congruence when given a machine.
+
+    Keyword arguments (``unroll``, ``banks``, ...) are forwarded to the
+    kernel generator; each kernel's defaults match the scale used in the
+    experiment harness.
+    """
+    try:
+        kernel = KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNELS))
+        raise KeyError(f"unknown benchmark {name!r}; available: {known}") from None
+    program = kernel(**kernel_args)
+    if machine is not None:
+        apply_congruence(program, machine)
+    return program
+
+
+def suite_for_machine(machine: Machine) -> Sequence[str]:
+    """The published benchmark list for a machine family."""
+    return RAW_SUITE if machine.name.startswith("raw") else VLIW_SUITE

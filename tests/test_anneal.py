@@ -1,0 +1,60 @@
+"""Unit tests for the simulated-annealing baseline (Leupers-style)."""
+
+import pytest
+
+from repro.machine import ClusteredVLIW
+from repro.schedulers import SingleClusterScheduler
+from repro.schedulers.anneal import SimulatedAnnealingScheduler
+from repro.sim import simulate
+from repro.workloads import build_benchmark
+
+from .conftest import build_dot_region
+
+
+class TestAnneal:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingScheduler(moves=-1)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingScheduler(cooling=0.0)
+
+    def test_valid_schedule(self, vliw4):
+        region = build_benchmark("vvmul", vliw4).regions[0]
+        schedule = SimulatedAnnealingScheduler(moves=150).schedule(region, vliw4)
+        assert simulate(region, vliw4, schedule).ok
+
+    def test_respects_preplacement(self, raw4, jacobi_raw):
+        schedule = SimulatedAnnealingScheduler(moves=100).schedule(jacobi_raw, raw4)
+        for inst in jacobi_raw.ddg:
+            if inst.preplaced:
+                assert schedule.cluster_of(inst.uid) == inst.home_cluster
+        assert simulate(jacobi_raw, raw4, schedule).ok
+
+    def test_deterministic_given_seed(self, vliw4):
+        a = SimulatedAnnealingScheduler(moves=80, seed=3).schedule(
+            build_dot_region(n=8), vliw4
+        )
+        b = SimulatedAnnealingScheduler(moves=80, seed=3).schedule(
+            build_dot_region(n=8), vliw4
+        )
+        assert a.assignment() == b.assignment()
+
+    def test_beats_single_cluster_on_parallel_work(self, vliw4):
+        region = build_dot_region(n=16, banks=4)
+        annealed = SimulatedAnnealingScheduler(moves=300).schedule(region, vliw4)
+        single = ClusteredVLIW(1)
+        region1 = build_dot_region(n=16, banks=4)
+        baseline = SingleClusterScheduler().schedule(region1, single)
+        assert annealed.makespan < baseline.makespan
+
+    def test_more_moves_never_hurt_much(self, vliw4):
+        region_a = build_benchmark("vvmul", vliw4).regions[0]
+        region_b = build_benchmark("vvmul", vliw4).regions[0]
+        short = SimulatedAnnealingScheduler(moves=20, seed=1).schedule(region_a, vliw4)
+        long = SimulatedAnnealingScheduler(moves=400, seed=1).schedule(region_b, vliw4)
+        assert long.makespan <= short.makespan * 1.2
+
+    def test_zero_moves_is_random_but_legal(self, vliw4):
+        region = build_dot_region(n=6)
+        schedule = SimulatedAnnealingScheduler(moves=0).schedule(region, vliw4)
+        assert simulate(region, vliw4, schedule).ok

@@ -1,0 +1,160 @@
+"""Unit tests for the RegionBuilder front end."""
+
+import pytest
+
+from repro.ir import Opcode, RegionBuilder
+from repro.ir.regions import RegionKind
+
+
+class TestValues:
+    def test_li_records_immediate(self):
+        b = RegionBuilder("r")
+        v = b.li(2.5, name="2.5")
+        region = b.build()
+        assert region.ddg.instruction(v.uid).immediate == 2.5
+
+    def test_arithmetic_helpers_emit_expected_opcodes(self):
+        b = RegionBuilder("r")
+        x, y = b.li(1), b.li(2)
+        cases = [
+            (b.add(x, y), Opcode.ADD),
+            (b.sub(x, y), Opcode.SUB),
+            (b.mul(x, y), Opcode.MUL),
+            (b.xor(x, y), Opcode.XOR),
+            (b.and_(x, y), Opcode.AND),
+            (b.or_(x, y), Opcode.OR),
+            (b.shl(x, y), Opcode.SHL),
+            (b.fadd(x, y), Opcode.FADD),
+            (b.fsub(x, y), Opcode.FSUB),
+            (b.fmul(x, y), Opcode.FMUL),
+            (b.fdiv(x, y), Opcode.FDIV),
+        ]
+        region = b.build()
+        for value, opcode in cases:
+            assert region.ddg.instruction(value.uid).opcode is opcode
+
+    def test_operand_edges_created(self):
+        b = RegionBuilder("r")
+        x, y = b.li(1), b.li(2)
+        z = b.fadd(x, y)
+        region = b.build()
+        preds = {e.src for e in region.ddg.predecessors(z.uid)}
+        assert preds == {x.uid, y.uid}
+
+
+class TestReduce:
+    def test_reduce_balanced_tree(self):
+        b = RegionBuilder("r")
+        leaves = [b.li(float(i)) for i in range(8)]
+        b.reduce(leaves)
+        region = b.build()
+        # 8 leaves -> 7 adds; tree depth is 3, so CPL = li + 3 fadds + last result
+        fadds = [i for i in region.ddg if i.opcode is Opcode.FADD]
+        assert len(fadds) == 7
+        assert region.ddg.levels()[fadds[-1].uid] == 3
+
+    def test_reduce_single_value_is_identity(self):
+        b = RegionBuilder("r")
+        v = b.li(1.0)
+        assert b.reduce([v]).uid == v.uid
+
+    def test_reduce_empty_raises(self):
+        b = RegionBuilder("r")
+        with pytest.raises(ValueError):
+            b.reduce([])
+
+    def test_reduce_odd_count(self):
+        b = RegionBuilder("r")
+        leaves = [b.li(float(i)) for i in range(5)]
+        b.reduce(leaves)
+        region = b.build()
+        assert sum(1 for i in region.ddg if i.opcode is Opcode.FADD) == 4
+
+
+class TestMemoryOrdering:
+    def test_load_after_store_same_array_bank_ordered(self):
+        b = RegionBuilder("r")
+        v = b.li(1.0)
+        store = b.store(v, bank=0, array="a")
+        load = b.load(bank=0, array="a")
+        region = b.build()
+        kinds = [(e.src, e.kind) for e in region.ddg.predecessors(load.uid)]
+        assert (store.uid, "mem") in kinds
+
+    def test_load_after_store_different_array_unordered(self):
+        b = RegionBuilder("r")
+        v = b.li(1.0)
+        b.store(v, bank=0, array="a")
+        load = b.load(bank=0, array="b")
+        region = b.build()
+        assert region.ddg.predecessors(load.uid) == []
+
+    def test_load_after_store_different_bank_unordered(self):
+        b = RegionBuilder("r")
+        v = b.li(1.0)
+        b.store(v, bank=0, array="a")
+        load = b.load(bank=1, array="a")
+        region = b.build()
+        assert region.ddg.predecessors(load.uid) == []
+
+    def test_store_after_load_anti_dependence(self):
+        b = RegionBuilder("r")
+        load = b.load(bank=2, array="a")
+        v = b.li(1.0)
+        store = b.store(v, bank=2, array="a")
+        region = b.build()
+        anti = [
+            e for e in region.ddg.predecessors(store.uid)
+            if e.src == load.uid and e.kind == "mem"
+        ]
+        assert anti and anti[0].latency == 0
+
+    def test_store_after_store_ordered(self):
+        b = RegionBuilder("r")
+        v = b.li(1.0)
+        first = b.store(v, bank=0, array="a")
+        second = b.store(v, bank=0, array="a")
+        region = b.build()
+        assert any(
+            e.src == first.uid and e.kind == "mem"
+            for e in region.ddg.predecessors(second.uid)
+        )
+
+    def test_bank_recorded_on_memory_ops(self):
+        b = RegionBuilder("r")
+        load = b.load(bank=5, array="a")
+        region = b.build()
+        assert region.ddg.instruction(load.uid).bank == 5
+
+
+class TestRegionLifecycle:
+    def test_build_twice_raises(self):
+        b = RegionBuilder("r")
+        b.li(1.0)
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_region_metadata(self):
+        b = RegionBuilder("hot", kind=RegionKind.SUPERBLOCK, trip_count=100)
+        b.li(1.0)
+        region = b.build()
+        assert region.name == "hot"
+        assert region.kind is RegionKind.SUPERBLOCK
+        assert region.trip_count == 100
+
+    def test_live_in_out_listing(self):
+        b = RegionBuilder("r")
+        vin = b.live_in(name="x")
+        v = b.fadd(vin, b.li(1.0))
+        b.live_out(v, name="y")
+        region = b.build()
+        assert region.live_ins() == [vin.uid]
+        assert len(region.live_outs()) == 1
+        assert len(region.real_instructions()) == 2  # fadd + li
+
+    def test_built_region_validates(self):
+        b = RegionBuilder("r")
+        x = b.load(bank=0)
+        b.store(x, bank=0)
+        b.build(validate=True)  # should not raise

@@ -1,0 +1,89 @@
+"""Unit tests for the CARS baseline scheduler."""
+
+import pytest
+
+from repro.machine import ClusteredVLIW
+from repro.regalloc import allocate_registers, pressure_profile
+from repro.schedulers import UnifiedAssignAndSchedule
+from repro.schedulers.cars import CarsScheduler
+from repro.sim import simulate
+from repro.workloads import build_benchmark
+
+from .conftest import build_dot_region
+
+
+class TestCars:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CarsScheduler(register_weight=-1)
+        with pytest.raises(ValueError):
+            CarsScheduler(threshold=1.5)
+
+    def test_produces_valid_schedules(self, vliw4, mxm_vliw):
+        schedule = CarsScheduler().schedule(mxm_vliw, vliw4)
+        report = simulate(mxm_vliw, vliw4, schedule)
+        assert report.ok
+
+    def test_respects_preplacement(self, raw4, jacobi_raw):
+        schedule = CarsScheduler().schedule(jacobi_raw, raw4)
+        for inst in jacobi_raw.ddg:
+            if inst.preplaced:
+                assert schedule.cluster_of(inst.uid) == inst.home_cluster
+
+    def test_matches_uas_when_registers_plentiful(self, vliw4):
+        region_a = build_dot_region(n=8, banks=4)
+        region_b = build_dot_region(n=8, banks=4)
+        cars = CarsScheduler().schedule(region_a, vliw4)
+        uas = UnifiedAssignAndSchedule().schedule(region_b, vliw4)
+        # With no register scarcity, the penalty never fires and the
+        # behaviour reduces to UAS.
+        assert cars.makespan == uas.makespan
+
+    def test_lower_peak_pressure_when_registers_scarce(self):
+        tiny = ClusteredVLIW(4, registers=6)
+        program_c = build_benchmark("mxm", tiny)
+        program_u = build_benchmark("mxm", tiny)
+        region_c, region_u = program_c.regions[0], program_u.regions[0]
+        cars = CarsScheduler(register_weight=12.0, threshold=0.5).schedule(
+            region_c, tiny
+        )
+        uas = UnifiedAssignAndSchedule().schedule(region_u, tiny)
+        simulate(region_c, tiny, cars)
+        cars_peak = pressure_profile(region_c, tiny, cars).peak()
+        uas_peak = pressure_profile(region_u, tiny, uas).peak()
+        assert cars_peak <= uas_peak + 1
+
+    def test_spills_stay_comparable_to_uas(self):
+        """Register steering must not blow up spill counts.
+
+        On inherently register-starved dense kernels most pressure comes
+        from values that are live regardless of placement, so CARS tracks
+        UAS closely rather than beating it; the invariant worth holding
+        is that the steering never makes things substantially worse.
+        """
+        tiny = ClusteredVLIW(4, registers=6)
+        region_c = build_benchmark("mxm", tiny).regions[0]
+        region_u = build_benchmark("mxm", tiny).regions[0]
+        cars = CarsScheduler(register_weight=12.0, threshold=0.5).schedule(
+            region_c, tiny
+        )
+        uas = UnifiedAssignAndSchedule().schedule(region_u, tiny)
+        cars_spills = allocate_registers(region_c, tiny, cars).spill_count
+        uas_spills = allocate_registers(region_u, tiny, uas).spill_count
+        assert cars_spills <= uas_spills * 1.15 + 2
+
+    def test_live_values_counting(self, vliw4):
+        from repro.schedulers.list_scheduler import _State, ReservationTable
+        from repro.schedulers.schedule import Schedule
+
+        region = build_dot_region(n=2, banks=1)
+        state = _State(
+            table=ReservationTable(),
+            schedule=Schedule("r", "m"),
+            start={}, finish={}, cluster={}, arrivals={},
+        )
+        # Place the two loads on cluster 0; their fmul consumers are
+        # unscheduled, so both values are live.
+        state.cluster = {0: 0, 1: 0}
+        assert CarsScheduler.live_values(region.ddg, state, 0) == 2
+        assert CarsScheduler.live_values(region.ddg, state, 1) == 0

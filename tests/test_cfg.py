@@ -1,0 +1,151 @@
+"""Unit tests for the CFG substrate: blocks, liveness, frequencies."""
+
+import pytest
+
+from repro.ir import ControlFlowGraph, Opcode, Stmt
+
+
+def diamond_cfg():
+    """entry -> (then | else) -> join, with a hot then-side."""
+    cfg = ControlFlowGraph("diamond", entry="entry", inputs={"a"})
+    entry = cfg.add_block("entry")
+    entry.add(Stmt("x", Opcode.LI, immediate=1.0))
+    entry.add(Stmt("c", Opcode.SLT, ("a", "x")))
+    then = cfg.add_block("then")
+    then.add(Stmt("y", Opcode.FADD, ("a", "x")))
+    other = cfg.add_block("else")
+    other.add(Stmt("y", Opcode.FSUB, ("a", "x")))
+    join = cfg.add_block("join")
+    join.add(Stmt(None, Opcode.STORE, ("y",), bank=0, array="out"))
+    cfg.add_edge("entry", "then", 0.9)
+    cfg.add_edge("entry", "else", 0.1)
+    cfg.add_edge("then", "join", 1.0)
+    cfg.add_edge("else", "join", 1.0)
+    return cfg
+
+
+class TestStmt:
+    def test_store_must_not_define(self):
+        with pytest.raises(ValueError):
+            Stmt("x", Opcode.STORE, ("y",))
+
+    def test_non_store_must_define(self):
+        with pytest.raises(ValueError):
+            Stmt(None, Opcode.FADD, ("a", "b"))
+
+    def test_edge_probability_validated(self):
+        from repro.ir.cfg import CfgEdge
+
+        with pytest.raises(ValueError):
+            CfgEdge("a", "b", probability=1.5)
+
+
+class TestBlocks:
+    def test_defs_and_upward_exposed_uses(self):
+        cfg = diamond_cfg()
+        entry = cfg.block("entry")
+        assert entry.defs() == {"x", "c"}
+        assert entry.upward_exposed_uses() == {"a"}
+
+    def test_redefinition_hides_use(self):
+        cfg = ControlFlowGraph("t", inputs=set())
+        b = cfg.add_block("entry")
+        b.add(Stmt("v", Opcode.LI, immediate=1.0))
+        b.add(Stmt("w", Opcode.FADD, ("v", "v")))
+        assert b.upward_exposed_uses() == set()
+
+    def test_duplicate_block_rejected(self):
+        cfg = ControlFlowGraph("t")
+        cfg.add_block("entry")
+        with pytest.raises(ValueError):
+            cfg.add_block("entry")
+
+    def test_edge_to_unknown_block_rejected(self):
+        cfg = ControlFlowGraph("t")
+        cfg.add_block("entry")
+        with pytest.raises(KeyError):
+            cfg.add_edge("entry", "ghost")
+
+
+class TestLiveness:
+    def test_diamond_liveness(self):
+        cfg = diamond_cfg()
+        live_in, live_out = cfg.liveness()
+        assert "y" in live_out["then"]
+        assert "y" in live_out["else"]
+        assert "y" in live_in["join"]
+        assert "a" in live_in["entry"]  # the input
+        assert "y" not in live_out["join"]  # dead after the store
+
+    def test_loop_liveness_fixpoint(self):
+        cfg = ControlFlowGraph("loop", inputs={"n"})
+        entry = cfg.add_block("entry")
+        entry.add(Stmt("acc", Opcode.LI, immediate=0.0))
+        body = cfg.add_block("body")
+        body.add(Stmt("acc2", Opcode.FADD, ("acc", "n")))
+        body.add(Stmt("acc", Opcode.MOVE, ("acc2",)))
+        exit_b = cfg.add_block("exit")
+        exit_b.add(Stmt(None, Opcode.STORE, ("acc",), bank=0, array="o"))
+        cfg.add_edge("entry", "body")
+        cfg.add_edge("body", "body", 0.9)
+        cfg.add_edge("body", "exit", 0.1)
+        live_in, live_out = cfg.liveness()
+        # acc is live around the back edge.
+        assert "acc" in live_in["body"]
+        assert "acc" in live_out["body"]
+
+    def test_validate_catches_undefined_variable(self):
+        cfg = ControlFlowGraph("bad")
+        entry = cfg.add_block("entry")
+        entry.add(Stmt("y", Opcode.FADD, ("ghost", "ghost")))
+        with pytest.raises(ValueError, match="used before definition"):
+            cfg.validate()
+
+    def test_validate_accepts_inputs(self):
+        diamond_cfg().validate()
+
+    def test_validate_checks_probability_mass(self):
+        cfg = ControlFlowGraph("bad", inputs=set())
+        cfg.add_block("entry")
+        cfg.add_block("a")
+        cfg.add_edge("entry", "a", 0.9)
+        cfg.add_edge("entry", "a", 0.9)
+        with pytest.raises(ValueError, match="probabilities"):
+            cfg.validate()
+
+    def test_validate_missing_entry(self):
+        cfg = ControlFlowGraph("bad", entry="nope")
+        with pytest.raises(ValueError, match="entry"):
+            cfg.validate()
+
+
+class TestFrequencies:
+    def test_explicit_frequency(self):
+        cfg = diamond_cfg()
+        cfg.set_frequency("then", 90)
+        assert cfg.frequency("then") == 90
+        assert cfg.frequency("else") == 1.0  # default
+
+    def test_propagation_splits_by_probability(self):
+        cfg = diamond_cfg()
+        cfg.propagate_frequencies(entry_count=100)
+        assert cfg.frequency("then") == pytest.approx(90)
+        assert cfg.frequency("else") == pytest.approx(10)
+        assert cfg.frequency("join") == pytest.approx(100)
+
+    def test_loop_frequency_converges(self):
+        cfg = ControlFlowGraph("loop", inputs=set())
+        cfg.add_block("entry")
+        cfg.add_block("body")
+        cfg.add_block("exit")
+        cfg.add_edge("entry", "body")
+        cfg.add_edge("body", "body", 0.5)
+        cfg.add_edge("body", "exit", 0.5)
+        cfg.propagate_frequencies(entry_count=1.0)
+        # Geometric series: body executes ~2 times per entry.
+        assert cfg.frequency("body") == pytest.approx(2.0, rel=1e-3)
+
+    def test_negative_frequency_rejected(self):
+        cfg = diamond_cfg()
+        with pytest.raises(ValueError):
+            cfg.set_frequency("then", -1)

@@ -1,0 +1,109 @@
+"""Documentation quality gates.
+
+The docs are a deliverable: these tests keep the top-level documents
+present and truthful, and enforce docstring coverage across the public
+surface — every module, every public class, every public function.
+"""
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def walk_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":  # runs the CLI on import
+            continue
+        names.append(info.name)
+    return [importlib.import_module(n) for n in sorted(names)]
+
+
+class TestDocumentsExist:
+    @pytest.mark.parametrize(
+        "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/passes.md", "docs/machines.md"]
+    )
+    def test_document_present_and_substantial(self, name):
+        path = ROOT / name
+        assert path.exists(), f"{name} missing"
+        assert len(path.read_text()) > 1500, f"{name} looks stubbed"
+
+    def test_readme_covers_the_essentials(self):
+        text = (ROOT / "README.md").read_text()
+        for needle in ("Convergent Scheduling", "MICRO-35", "pip install",
+                       "ConvergentScheduler", "EXPERIMENTS.md", "examples/"):
+            assert needle in text
+
+    def test_design_lists_every_experiment(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for needle in ("Table 2", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9",
+                       "Fig. 10", "Table 1"):
+            assert needle in text
+
+    def test_experiments_records_paper_vs_measured(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        assert "paper" in text.lower()
+        assert "+21%" in text  # the paper's headline, for comparison
+        assert "Known deviations" in text
+
+    def test_passes_doc_covers_every_registered_pass(self):
+        from repro.core.passes import PASS_REGISTRY
+
+        text = (ROOT / "docs" / "passes.md").read_text()
+        for name in PASS_REGISTRY:
+            assert f"## {name}" in text, f"docs/passes.md missing {name}"
+
+
+class TestDocstringCoverage:
+    def test_every_module_has_a_docstring(self):
+        missing = [m.__name__ for m in walk_modules() if not inspect.getdoc(m)]
+        assert missing == []
+
+    def test_every_public_class_documented(self):
+        missing = []
+        for module in walk_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue  # re-export
+                if not inspect.getdoc(obj):
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+    def test_every_public_function_documented(self):
+        missing = []
+        for module in walk_modules():
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not inspect.getdoc(obj):
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+    def test_public_methods_of_core_classes_documented(self):
+        from repro.core.convergent import ConvergentScheduler
+        from repro.core.weights import PreferenceMatrix
+        from repro.ir.ddg import DataDependenceGraph
+        from repro.schedulers.list_scheduler import ListScheduler
+        from repro.sim.simulator import SimulationReport
+
+        missing = []
+        for cls in (PreferenceMatrix, DataDependenceGraph, ListScheduler,
+                    ConvergentScheduler, SimulationReport):
+            for name, member in vars(cls).items():
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member) and not inspect.getdoc(member):
+                    missing.append(f"{cls.__name__}.{name}")
+        assert missing == []

@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example runs end to end.
+
+The examples are a deliverable, not decoration; each must execute
+cleanly as a subprocess (fresh interpreter, like a user would run it)
+and produce the headline output its narrative promises.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "schedule:",
+    "tradeoff.py": "careful",
+    "preference_maps.py": "final schedule",
+    "custom_pass.py": "with PAIR",
+    "raw_vs_vliw.py": "raw4x4",
+    "whole_program.py": "whole-program cycles",
+    "register_pressure.py": "spills",
+    "switch_programs.py": "switch programs",
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert CASES[script] in result.stdout
+
+
+def test_every_example_is_covered():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(CASES)

@@ -1,0 +1,98 @@
+"""Tests for heterogeneous machines (clusters missing functional units).
+
+Section 4's INITTIME note: "A pass similar to this one can address the
+fact that some instructions cannot be scheduled in all clusters in some
+architectures, simply by squashing the weights for the unfeasible
+clusters."  Our INITTIME folds that in; these tests pin the behaviour on
+a VLIW whose last clusters have no floating-point unit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergentScheduler, PreferenceMatrix
+from repro.core.passes import InitTime, PassContext
+from repro.ir.opcode import FuncClass
+from repro.machine import ClusteredVLIW
+from repro.schedulers import UnifiedAssignAndSchedule
+from repro.schedulers.list_scheduler import feasible_clusters
+from repro.sim import simulate
+from repro.workloads import build_benchmark
+
+from .conftest import build_dot_region
+
+
+@pytest.fixture
+def hetero():
+    """Four clusters; only 0 and 1 have FPUs."""
+    return ClusteredVLIW(4, fp_clusters=(0, 1))
+
+
+class TestMachineModel:
+    def test_fpu_presence(self, hetero):
+        assert hetero.clusters[0].can_execute(FuncClass.FPU)
+        assert hetero.clusters[1].can_execute(FuncClass.FPU)
+        assert not hetero.clusters[2].can_execute(FuncClass.FPU)
+        assert not hetero.clusters[3].can_execute(FuncClass.FPU)
+
+    def test_name_reflects_heterogeneity(self, hetero):
+        assert hetero.name == "vliw4f2"
+
+    def test_invalid_fp_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusteredVLIW(2, fp_clusters=(5,))
+
+    def test_integer_units_everywhere(self, hetero):
+        for c in range(4):
+            assert hetero.can_execute(c, FuncClass.IALU)
+            assert hetero.can_execute(c, FuncClass.MEM)
+
+
+class TestFeasibility:
+    def test_fp_feasible_set_restricted(self, hetero):
+        region = build_dot_region(n=2, banks=2)
+        for inst in region.ddg:
+            feasible = feasible_clusters(inst, hetero)
+            if inst.func_class is FuncClass.FPU:
+                assert feasible == [0, 1]
+            elif not inst.preplaced:
+                assert feasible == [0, 1, 2, 3]
+
+    def test_inittime_squashes_fpu_less_clusters(self, hetero):
+        region = build_dot_region(n=2, banks=2)
+        matrix = PreferenceMatrix.for_region(region.ddg, 4)
+        ctx = PassContext(
+            ddg=region.ddg, machine=hetero, matrix=matrix,
+            rng=np.random.default_rng(0),
+        )
+        InitTime().apply(ctx)
+        for inst in region.ddg:
+            if inst.func_class is FuncClass.FPU:
+                marg = matrix.cluster_marginals()[inst.uid]
+                assert marg[2] == 0.0 and marg[3] == 0.0
+
+
+class TestSchedulers:
+    def test_convergent_schedules_legally(self, hetero):
+        program = build_benchmark("yuv", hetero)
+        region = program.regions[0]
+        schedule = ConvergentScheduler().schedule(region, hetero)
+        report = simulate(region, hetero, schedule)
+        assert report.ok
+        for inst in region.ddg:
+            if inst.func_class is FuncClass.FPU:
+                assert schedule.cluster_of(inst.uid) in (0, 1)
+
+    def test_uas_schedules_legally(self, hetero):
+        program = build_benchmark("tomcatv", hetero)
+        region = program.regions[0]
+        schedule = UnifiedAssignAndSchedule().schedule(region, hetero)
+        assert simulate(region, hetero, schedule).ok
+
+    def test_integer_work_can_use_fpu_less_clusters(self, hetero):
+        program = build_benchmark("sha", hetero, rounds=8, blocks=4)
+        region = program.regions[0]
+        schedule = UnifiedAssignAndSchedule().schedule(region, hetero)
+        assert simulate(region, hetero, schedule).ok
+        used = {op.cluster for op in schedule.ops.values()}
+        assert used & {2, 3}

@@ -1,0 +1,78 @@
+"""Unit tests for instructions and dependence edges."""
+
+import pytest
+
+from repro.ir.instruction import DependenceEdge, Instruction
+from repro.ir.opcode import FuncClass, Opcode
+
+
+class TestInstruction:
+    def test_basic_construction(self):
+        inst = Instruction(uid=3, opcode=Opcode.ADD, operands=(1, 2))
+        assert inst.uid == 3
+        assert inst.operands == (1, 2)
+        assert not inst.preplaced
+
+    def test_operands_normalized_to_tuple(self):
+        inst = Instruction(uid=0, opcode=Opcode.FADD, operands=[])
+        assert inst.operands == ()
+
+    def test_negative_uid_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(uid=-1, opcode=Opcode.ADD)
+
+    def test_self_dependence_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(uid=5, opcode=Opcode.ADD, operands=(5,))
+
+    def test_preplacement(self):
+        inst = Instruction(uid=0, opcode=Opcode.LOAD, home_cluster=2)
+        assert inst.preplaced
+        assert inst.home_cluster == 2
+
+    def test_func_class_property(self):
+        assert Instruction(uid=0, opcode=Opcode.FMUL).func_class is FuncClass.FPU
+        assert Instruction(uid=0, opcode=Opcode.LOAD).func_class is FuncClass.MEM
+
+    def test_store_defines_no_value(self):
+        store = Instruction(uid=1, opcode=Opcode.STORE, operands=(0,))
+        assert not store.defines_value
+
+    def test_live_out_defines_no_value(self):
+        out = Instruction(uid=1, opcode=Opcode.LIVE_OUT, operands=(0,))
+        assert not out.defines_value
+        assert out.is_pseudo
+
+    def test_arithmetic_defines_value(self):
+        assert Instruction(uid=0, opcode=Opcode.ADD).defines_value
+        assert Instruction(uid=0, opcode=Opcode.LOAD).defines_value
+
+    def test_label_contains_uid_and_mnemonic(self):
+        inst = Instruction(uid=7, opcode=Opcode.FSQRT, name="sqrt(x)")
+        assert "7" in inst.label()
+        assert "fsqrt" in inst.label()
+        assert "sqrt(x)" in inst.label()
+
+
+class TestDependenceEdge:
+    def test_data_edge_carries_value(self):
+        edge = DependenceEdge(src=0, dst=1, latency=3, kind="data")
+        assert edge.carries_value
+
+    def test_mem_edge_does_not_carry_value(self):
+        edge = DependenceEdge(src=0, dst=1, latency=1, kind="mem")
+        assert not edge.carries_value
+
+    def test_order_edge_does_not_carry_value(self):
+        assert not DependenceEdge(src=0, dst=1, kind="order").carries_value
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceEdge(src=0, dst=1, kind="antimatter")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceEdge(src=0, dst=1, latency=-1)
+
+    def test_zero_latency_allowed(self):
+        assert DependenceEdge(src=0, dst=1, latency=0, kind="mem").latency == 0

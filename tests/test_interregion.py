@@ -1,0 +1,90 @@
+"""Unit tests for inter-region home assignment."""
+
+import pytest
+
+from repro.core import ConvergentScheduler
+from repro.ir import Opcode, RegionBuilder
+from repro.ir.regions import Program
+from repro.machine import RawMachine
+from repro.sim import simulate
+from repro.workloads import apply_congruence
+from repro.workloads.interregion import (
+    assign_cross_region_homes,
+    cross_region_affinity,
+)
+
+
+def producer_consumer_program():
+    """Region A computes v near bank-3 anchors; region B consumes it
+    near bank-3 anchors too: v's natural home is bank 3's cluster."""
+    a = RegionBuilder("producer")
+    x = a.load(bank=3, array="src", name="src")
+    v = a.fadd(x, x)
+    a.live_out(v, name="v")
+    b = RegionBuilder("consumer")
+    vin = b.live_in(name="v")
+    y = b.load(bank=3, array="other", name="other")
+    b.store(b.fmul(vin, y), bank=3, array="dst")
+    return Program("pc", [a.build(), b.build()])
+
+
+class TestAffinity:
+    def test_affinity_points_at_anchored_cluster(self, raw4):
+        program = producer_consumer_program()
+        apply_congruence(program, raw4)
+        affinity = cross_region_affinity(program, raw4)
+        assert "v" in affinity
+        assert affinity["v"].argmax() == 3
+
+    def test_no_anchors_no_affinity(self, raw4):
+        b = RegionBuilder("r")
+        x = b.live_in(name="x")
+        b.live_out(b.fadd(x, x), name="y")
+        program = Program("p", [b.build()])
+        affinity = cross_region_affinity(program, raw4)
+        assert all(v.sum() == 0 for v in affinity.values()) or not affinity
+
+
+class TestAssignment:
+    def test_opinionated_value_gets_its_cluster(self, raw4):
+        program = producer_consumer_program()
+        homes = assign_cross_region_homes(program, raw4)
+        assert homes["v"] == 3
+        # Both endpoints are annotated consistently.
+        for region in program.regions:
+            for uid in region.live_ins() + region.live_outs():
+                inst = region.ddg.instruction(uid)
+                if inst.name == "v":
+                    assert inst.home_cluster == 3
+
+    def test_unopinionated_values_spread(self, raw4):
+        b = RegionBuilder("r")
+        for i in range(8):
+            x = b.live_in(name=f"u{i}")
+            b.live_out(b.fadd(x, x), name=f"w{i}")
+        program = Program("p", [b.build()])
+        homes = assign_cross_region_homes(program, raw4)
+        assert len(set(homes.values())) == raw4.n_clusters
+
+    def test_regions_still_schedule(self, raw4):
+        program = producer_consumer_program()
+        assign_cross_region_homes(program, raw4)
+        for region in program.regions:
+            schedule = ConvergentScheduler().schedule(region, raw4)
+            assert simulate(region, raw4, schedule).ok
+
+    def test_beats_or_matches_round_robin_on_affinity_program(self, raw4):
+        smart = producer_consumer_program()
+        assign_cross_region_homes(smart, raw4)
+        naive = producer_consumer_program()
+        apply_congruence(naive, raw4)
+        scheduler = ConvergentScheduler()
+
+        def total(program):
+            cycles = 0
+            for region in program.regions:
+                schedule = scheduler.schedule(region, raw4)
+                cycles += simulate(region, raw4, schedule).cycles
+            return cycles
+
+        assert total(smart) <= total(naive)

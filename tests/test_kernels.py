@@ -1,0 +1,198 @@
+"""Unit tests for the benchmark kernel generators."""
+
+import pytest
+
+from repro.analysis import graph_shape
+from repro.ir import Opcode
+from repro.machine import ClusteredVLIW, RawMachine
+from repro.workloads import (
+    KERNELS,
+    LOW_PREPLACEMENT,
+    RAW_SUITE,
+    VLIW_SUITE,
+    build_benchmark,
+    suite_for_machine,
+)
+
+
+class TestSuiteDefinitions:
+    def test_raw_suite_matches_table2(self):
+        assert RAW_SUITE == (
+            "cholesky", "tomcatv", "vpenta", "mxm", "fpppp-kernel",
+            "sha", "swim", "jacobi", "life",
+        )
+
+    def test_vliw_suite_matches_figure8(self):
+        assert VLIW_SUITE == (
+            "vvmul", "rbsorf", "yuv", "tomcatv", "mxm", "fir", "cholesky",
+        )
+
+    def test_every_suite_member_has_a_kernel(self):
+        for name in RAW_SUITE + VLIW_SUITE:
+            assert name in KERNELS
+
+    def test_suite_for_machine(self, raw4, vliw4):
+        assert suite_for_machine(raw4) == RAW_SUITE
+        assert suite_for_machine(vliw4) == VLIW_SUITE
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            build_benchmark("doom")
+
+
+class TestGraphValidity:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernel_builds_valid_graph(self, name):
+        program = build_benchmark(name)
+        for region in program.regions:
+            region.ddg.validate()
+            assert len(region.ddg) > 0
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_congruence_preplaces_memory(self, name, raw16):
+        program = build_benchmark(name, raw16)
+        region = program.regions[0]
+        for inst in region.ddg:
+            if inst.is_memory and inst.bank is not None:
+                assert inst.home_cluster == raw16.bank_home(inst.bank)
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernels_are_deterministic(self, name):
+        a = build_benchmark(name)
+        b = build_benchmark(name)
+        assert len(a.regions[0].ddg) == len(b.regions[0].ddg)
+        assert a.regions[0].ddg.edge_count() == b.regions[0].ddg.edge_count()
+
+
+class TestGraphShapes:
+    def test_dense_kernels_are_fat(self, raw16):
+        for name in ("mxm", "jacobi", "life", "swim", "vpenta"):
+            shape = graph_shape(build_benchmark(name, raw16).regions[0].ddg)
+            assert shape.is_fat, f"{name} should be a fat graph"
+
+    def test_hard_kernels_are_preplacement_poor(self, raw16):
+        fat_fraction = graph_shape(
+            build_benchmark("mxm", raw16).regions[0].ddg
+        ).preplaced_fraction
+        for name in LOW_PREPLACEMENT:
+            shape = graph_shape(build_benchmark(name, raw16).regions[0].ddg)
+            assert shape.preplaced_fraction < fat_fraction / 2
+
+    def test_fpppp_has_limited_parallelism(self, raw16):
+        fpppp = graph_shape(build_benchmark("fpppp-kernel", raw16).regions[0].ddg)
+        mxm = graph_shape(build_benchmark("mxm", raw16).regions[0].ddg)
+        assert fpppp.parallelism < mxm.parallelism
+
+    def test_unroll_scales_size(self):
+        small = build_benchmark("jacobi", unroll=4)
+        large = build_benchmark("jacobi", unroll=16)
+        assert len(large.regions[0].ddg) > 3 * len(small.regions[0].ddg)
+
+
+class TestKernelSemantics:
+    def test_mxm_has_dot_product_structure(self):
+        program = build_benchmark("mxm", unroll=2, depth=4)
+        ddg = program.regions[0].ddg
+        fmuls = [i for i in ddg if i.opcode is Opcode.FMUL]
+        stores = [i for i in ddg if i.opcode is Opcode.STORE]
+        assert len(fmuls) == 2 * 4
+        assert len(stores) == 2
+
+    def test_cholesky_contains_sqrt_and_div(self):
+        ddg = build_benchmark("cholesky").regions[0].ddg
+        opcodes = {i.opcode for i in ddg}
+        assert Opcode.FSQRT in opcodes
+        assert Opcode.FDIV in opcodes
+
+    def test_sha_is_integer_code(self):
+        ddg = build_benchmark("sha").regions[0].ddg
+        assert not any(
+            i.opcode in (Opcode.FADD, Opcode.FMUL, Opcode.FSUB) for i in ddg
+        )
+
+    def test_fpppp_is_nearly_memory_free(self):
+        ddg = build_benchmark("fpppp-kernel").regions[0].ddg
+        memory = sum(1 for i in ddg if i.is_memory)
+        assert memory == 0
+
+    def test_yuv_three_outputs_per_pixel(self):
+        ddg = build_benchmark("yuv", unroll=2).regions[0].ddg
+        stores = [i for i in ddg if i.opcode is Opcode.STORE]
+        assert len(stores) == 6
+
+    def test_fir_taps_are_live_ins(self):
+        program = build_benchmark("fir", taps=8)
+        assert len(program.regions[0].live_ins()) == 8
+
+
+class TestFft:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            build_benchmark("fft", points=12)
+
+    def test_butterfly_count(self):
+        # N=8: log2(8)=3 stages x N/2=4 butterflies, 10 flops each.
+        ddg = build_benchmark("fft", points=8).regions[0].ddg
+        flops = sum(
+            1 for i in ddg
+            if i.opcode in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL)
+        )
+        assert flops == 3 * 4 * 10
+
+    def test_log_depth_structure(self):
+        from repro.analysis import graph_shape
+
+        small = graph_shape(build_benchmark("fft", points=8).regions[0].ddg)
+        large = graph_shape(build_benchmark("fft", points=32).regions[0].ddg)
+        # Doubling N twice adds only two butterfly stages of depth.
+        assert large.critical_path_length <= small.critical_path_length * 2
+
+    def test_schedules_on_both_machines(self, vliw4, raw4):
+        from repro.core import ConvergentScheduler
+        from repro.sim import simulate
+
+        for machine in (vliw4, raw4):
+            region = build_benchmark("fft", machine, points=8).regions[0]
+            schedule = ConvergentScheduler().schedule(region, machine)
+            assert simulate(region, machine, schedule).ok
+
+
+class TestExtraNasa7Kernels:
+    """btrix, gmtry, emit: the remaining Nasa7 kernels (extras, not in
+    the paper's tables)."""
+
+    @pytest.mark.parametrize("name", ["btrix", "gmtry", "emit"])
+    def test_valid_and_schedulable(self, name, vliw4):
+        from repro.core import ConvergentScheduler
+        from repro.sim import simulate
+
+        program = build_benchmark(name, vliw4)
+        region = program.regions[0]
+        region.ddg.validate()
+        schedule = ConvergentScheduler().schedule(region, vliw4)
+        assert simulate(region, vliw4, schedule).ok
+
+    def test_btrix_recurrence_depth(self):
+        ddg = build_benchmark("btrix", unroll=2, block=4).regions[0].ddg
+        # Each elimination step chains a divide (12) and fsub/fmul.
+        assert ddg.critical_path_length() > 4 * 12
+
+    def test_gmtry_shares_one_reciprocal(self):
+        ddg = build_benchmark("gmtry", rows=4).regions[0].ddg
+        divides = [i for i in ddg if i.opcode is Opcode.FDIV]
+        assert len(divides) == 1
+        fanout = len(ddg.successors(divides[0].uid))
+        assert fanout == 4  # one factor per row
+
+    def test_emit_is_parallel_across_particles(self, raw16):
+        from repro.analysis import graph_shape
+
+        shape = graph_shape(build_benchmark("emit", raw16, particles=16).regions[0].ddg)
+        assert shape.is_fat
+
+    def test_extras_listed_in_cli(self, capsys):
+        from repro.cli import main
+
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "btrix" in out and "gmtry" in out and "emit" in out and "fft" in out

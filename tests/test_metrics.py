@@ -1,0 +1,200 @@
+"""Unit tests for convergence instrumentation and graph analysis."""
+
+import pytest
+
+from repro.analysis import graph_shape, slack_histogram, width_profile
+from repro.core import PreferenceMatrix
+from repro.core.metrics import ConvergenceTrace, TEMPORAL_ONLY_PASSES
+from repro.ir import DataDependenceGraph, Opcode
+
+
+class TestConvergenceTrace:
+    def make_matrix(self):
+        return PreferenceMatrix(4, 3, 5)
+
+    def test_no_change_records_zero(self):
+        m = self.make_matrix()
+        trace = ConvergenceTrace()
+        trace.observe_initial(m)
+        record = trace.observe_pass("COMM", m)
+        assert record.changed_fraction == 0.0
+
+    def test_change_fraction_counts_moved_instructions(self):
+        m = self.make_matrix()
+        trace = ConvergenceTrace()
+        trace.observe_initial(m)
+        m.scale(0, 10.0, cluster=2)
+        m.scale(1, 10.0, cluster=2)
+        m.normalize()
+        record = trace.observe_pass("PATH", m)
+        assert record.changed_fraction == pytest.approx(0.5)
+
+    def test_temporal_passes_flagged(self):
+        m = self.make_matrix()
+        trace = ConvergenceTrace()
+        trace.observe_initial(m)
+        trace.observe_pass("INITTIME", m)
+        trace.observe_pass("COMM", m)
+        trace.observe_pass("EMPHCP", m)
+        spatial = [r.pass_name for r in trace.spatial_records()]
+        assert spatial == ["COMM"]
+        assert "INITTIME" in TEMPORAL_ONLY_PASSES
+
+    def test_series_matches_spatial_records(self):
+        m = self.make_matrix()
+        trace = ConvergenceTrace()
+        trace.observe_initial(m)
+        trace.observe_pass("LOAD", m)
+        trace.observe_pass("PLACE", m)
+        assert trace.series() == [0.0, 0.0]
+
+    def test_snapshots_optional(self):
+        m = self.make_matrix()
+        trace = ConvergenceTrace(keep_snapshots=True)
+        trace.observe_initial(m)
+        trace.observe_pass("COMM", m)
+        assert all(r.snapshot is not None for r in trace.records)
+
+    def test_render_mentions_passes(self):
+        m = self.make_matrix()
+        trace = ConvergenceTrace()
+        trace.observe_initial(m)
+        trace.observe_pass("COMM", m)
+        assert "COMM" in trace.render("test")
+
+
+class TestGraphShape:
+    def chain(self, n=6):
+        g = DataDependenceGraph()
+        prev = g.new_instruction(Opcode.LI)
+        for _ in range(n - 1):
+            prev = g.new_instruction(Opcode.FADD, (prev.uid,))
+        return g
+
+    def wide(self, n=6):
+        g = DataDependenceGraph()
+        for _ in range(n):
+            g.new_instruction(Opcode.LI)
+        return g
+
+    def test_chain_is_thin(self):
+        shape = graph_shape(self.chain(10))
+        assert not shape.is_fat
+        assert shape.max_width == 1
+
+    def test_independent_ops_are_fat(self):
+        shape = graph_shape(self.wide(12))
+        assert shape.is_fat
+        assert shape.max_width == 12
+        assert shape.critical_path_length == 1
+
+    def test_empty_graph(self):
+        shape = graph_shape(DataDependenceGraph())
+        assert shape.instructions == 0
+
+    def test_width_profile_sums_to_size(self):
+        g = self.chain(5)
+        assert sum(width_profile(g)) == 5
+
+    def test_slack_histogram_chain_all_zero(self):
+        histogram = slack_histogram(self.chain(5))
+        assert histogram == {"0-3": 5}
+
+    def test_preplaced_fraction(self):
+        g = DataDependenceGraph()
+        g.new_instruction(Opcode.LOAD, home_cluster=0)
+        g.new_instruction(Opcode.LI)
+        assert graph_shape(g).preplaced_fraction == 0.5
+
+
+class TestTraceRendering:
+    def make_schedule(self):
+        from repro.machine import ClusteredVLIW
+        from repro.schedulers import UnifiedAssignAndSchedule
+        from .conftest import build_dot_region
+
+        machine = ClusteredVLIW(4)
+        region = build_dot_region(n=4, banks=4)
+        schedule = UnifiedAssignAndSchedule().schedule(region, machine)
+        return region, machine, schedule
+
+    def test_gantt_mentions_instructions_and_clusters(self):
+        from repro.sim.trace import gantt
+
+        region, machine, schedule = self.make_schedule()
+        text = gantt(region, machine, schedule)
+        assert "c0" in text and "fmul" in text
+
+    def test_gantt_truncation(self):
+        from repro.sim.trace import gantt
+
+        region, machine, schedule = self.make_schedule()
+        text = gantt(region, machine, schedule, max_cycles=2)
+        assert "more cycles" in text
+
+    def test_narrate_lists_issues_and_arrivals(self):
+        from repro.sim.trace import narrate
+
+        region, machine, schedule = self.make_schedule()
+        text = narrate(region, machine, schedule)
+        assert "issues" in text
+        if schedule.comms:
+            assert "receives" in text
+
+
+class TestBottleneckAnalysis:
+    def schedule_for(self, region, machine, cluster=None):
+        from repro.schedulers import ListScheduler, UnifiedAssignAndSchedule
+
+        if cluster is None:
+            return UnifiedAssignAndSchedule().schedule(region, machine)
+        assignment = {i: cluster for i in range(len(region.ddg))}
+        return ListScheduler().schedule(region, machine, assignment=assignment)
+
+    def test_chain_is_critical_path_bound(self):
+        from repro.analysis import analyze_bottleneck
+        from repro.machine import ClusteredVLIW
+        from .conftest import build_chain_region
+
+        machine = ClusteredVLIW(4)
+        region = build_chain_region(length=10)
+        schedule = self.schedule_for(region, machine)
+        report = analyze_bottleneck(region, machine, schedule)
+        assert report.binding == "critical-path"
+        assert report.efficiency() > 0.8
+
+    def test_piled_up_work_is_issue_bound(self):
+        from repro.analysis import analyze_bottleneck
+        from repro.machine import RawMachine
+        from .conftest import build_dot_region
+
+        machine = RawMachine(2, 2)
+        region = build_dot_region(n=16, banks=1)  # all banks -> tile 1
+        schedule = self.schedule_for(region, machine)
+        report = analyze_bottleneck(region, machine, schedule)
+        # 32 single-issue memory ops on one tile dominate CPL.
+        assert report.issue_bound >= 32
+        assert report.binding == "issue"
+
+    def test_bounds_never_exceed_makespan(self):
+        from repro.analysis import analyze_bottleneck
+        from repro.machine import ClusteredVLIW
+        from repro.workloads import build_benchmark
+
+        machine = ClusteredVLIW(4)
+        region = build_benchmark("mxm", machine).regions[0]
+        schedule = self.schedule_for(region, machine)
+        report = analyze_bottleneck(region, machine, schedule)
+        assert report.slack >= 0
+        assert 0 < report.efficiency() <= 1.0
+
+    def test_render_names_the_binding_constraint(self):
+        from repro.analysis import analyze_bottleneck
+        from repro.machine import ClusteredVLIW
+        from .conftest import build_chain_region
+
+        machine = ClusteredVLIW(2)
+        region = build_chain_region(length=6)
+        schedule = self.schedule_for(region, machine)
+        text = analyze_bottleneck(region, machine, schedule).render()
+        assert "bound by" in text and "slack" in text

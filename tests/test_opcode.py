@@ -1,0 +1,79 @@
+"""Unit tests for opcodes, functional classes, and latency models."""
+
+import pytest
+
+from repro.ir.opcode import (
+    FUNC_CLASS,
+    FuncClass,
+    LatencyModel,
+    Opcode,
+    func_class,
+    is_memory,
+    is_pseudo,
+)
+
+
+class TestFuncClass:
+    def test_every_opcode_has_a_functional_class(self):
+        for opcode in Opcode:
+            assert opcode in FUNC_CLASS
+
+    def test_integer_ops_use_ialu(self):
+        for opcode in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+                       Opcode.SHL, Opcode.SHR, Opcode.SLT):
+            assert func_class(opcode) is FuncClass.IALU
+
+    def test_multiply_divide_are_imul_class(self):
+        assert func_class(Opcode.MUL) is FuncClass.IMUL
+        assert func_class(Opcode.DIV) is FuncClass.IMUL
+
+    def test_fp_ops_use_fpu(self):
+        for opcode in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+                       Opcode.FCMP, Opcode.FSQRT):
+            assert func_class(opcode) is FuncClass.FPU
+
+    def test_memory_predicate(self):
+        assert is_memory(Opcode.LOAD)
+        assert is_memory(Opcode.STORE)
+        assert not is_memory(Opcode.ADD)
+        assert not is_memory(Opcode.LIVE_IN)
+
+    def test_pseudo_predicate(self):
+        assert is_pseudo(Opcode.LIVE_IN)
+        assert is_pseudo(Opcode.LIVE_OUT)
+        assert not is_pseudo(Opcode.LOAD)
+        assert not is_pseudo(Opcode.XFER)
+
+
+class TestLatencyModel:
+    def test_default_latencies_cover_every_opcode(self):
+        model = LatencyModel()
+        for opcode in Opcode:
+            assert model.latency(opcode) >= 0
+
+    def test_r4000_flavour(self):
+        model = LatencyModel()
+        assert model.latency(Opcode.ADD) == 1
+        assert model.latency(Opcode.LOAD) == 3
+        assert model.latency(Opcode.FADD) == 4
+        assert model.latency(Opcode.FDIV) > model.latency(Opcode.FMUL)
+
+    def test_pseudo_ops_are_free(self):
+        model = LatencyModel()
+        assert model.latency(Opcode.LIVE_IN) == 0
+        assert model.latency(Opcode.LIVE_OUT) == 0
+
+    def test_with_overrides_returns_new_model(self):
+        base = LatencyModel()
+        fast = base.with_overrides(load=1)
+        assert fast.latency(Opcode.LOAD) == 1
+        assert base.latency(Opcode.LOAD) == 3
+
+    def test_with_overrides_by_mnemonic(self):
+        model = LatencyModel().with_overrides(fmul=7, fadd=2)
+        assert model.latency(Opcode.FMUL) == 7
+        assert model.latency(Opcode.FADD) == 2
+
+    def test_with_overrides_unknown_mnemonic_raises(self):
+        with pytest.raises(ValueError):
+            LatencyModel().with_overrides(warp=1)

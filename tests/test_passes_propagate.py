@@ -1,0 +1,168 @@
+"""Unit tests for LEVEL and PATHPROP."""
+
+import numpy as np
+import pytest
+
+from repro.core import PreferenceMatrix
+from repro.core.passes import (
+    LevelDistribute,
+    PassContext,
+    PathPropagate,
+    Place,
+)
+from repro.ir import RegionBuilder
+
+
+def make_ctx(region, machine, seed=0):
+    matrix = PreferenceMatrix.for_region(region.ddg, machine.n_clusters)
+    return PassContext(
+        ddg=region.ddg, machine=machine, matrix=matrix,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def parallel_strands(n_strands=8, length=3):
+    """Independent chains: ideal input for LEVEL distribution."""
+    b = RegionBuilder("strands")
+    for s in range(n_strands):
+        v = b.live_in(name=f"in{s}")
+        for _ in range(length):
+            v = b.fmul(v, v)
+        b.live_out(v, name=f"out{s}")
+    return b.build()
+
+
+class TestLevelDistribute:
+    def test_spreads_independent_strands(self, vliw4):
+        region = parallel_strands()
+        ctx = make_ctx(region, vliw4)
+        LevelDistribute().apply(ctx)
+        ctx.matrix.check_invariants()
+        preferred = [
+            ctx.matrix.preferred_cluster(i) for i in region.real_instructions()
+        ]
+        # All four clusters should receive work.
+        assert len(set(preferred)) == vliw4.n_clusters
+
+    def test_balanced_distribution(self, vliw4):
+        region = parallel_strands(n_strands=8, length=2)
+        ctx = make_ctx(region, vliw4)
+        LevelDistribute(stride=8).apply(ctx)
+        counts = np.bincount(
+            [ctx.matrix.preferred_cluster(i) for i in region.real_instructions()],
+            minlength=4,
+        )
+        assert counts.max() - counts.min() <= max(4, counts.mean())
+
+    def test_preplaced_memory_seeds_its_home_bin(self, vliw4):
+        b = RegionBuilder("r")
+        anchor = b.load(bank=2, name="a", array="a")
+        v = b.fmul(anchor, anchor)
+        b.live_out(v)
+        region = b.build()
+        region.ddg.instruction(anchor.uid).home_cluster = 2
+        ctx = make_ctx(region, vliw4)
+        Place().apply(ctx)
+        LevelDistribute(stride=8, granularity=3).apply(ctx)
+        # The multiply sits one hop from the anchor: within granularity,
+        # so it joins the anchor's bin rather than being dealt far away.
+        assert ctx.matrix.preferred_cluster(v.uid) == 2
+
+    def test_preplaced_live_ins_do_not_anchor_bins(self, vliw4):
+        # Eight live-in taps pinned to cluster 0 (the Chorus convention)
+        # must not drag the real work onto cluster 0: copying a register
+        # out once is cheap, serializing the compute is not.
+        b = RegionBuilder("r")
+        taps = [b.live_in(name=f"h{i}", home_cluster=0) for i in range(8)]
+        outs = [b.fmul(t, t) for t in taps]
+        for o in outs:
+            b.live_out(o)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        Place().apply(ctx)
+        LevelDistribute(stride=8, granularity=3).apply(ctx)
+        preferred = {ctx.matrix.preferred_cluster(o.uid) for o in outs}
+        assert len(preferred) > 1
+
+    def test_confident_instructions_keep_cluster(self, vliw4):
+        region = parallel_strands(n_strands=4, length=2)
+        ctx = make_ctx(region, vliw4)
+        target = region.real_instructions()[0]
+        ctx.matrix.scale(target, 50.0, cluster=3)
+        ctx.matrix.normalize()
+        LevelDistribute().apply(ctx)
+        assert ctx.matrix.preferred_cluster(target) == 3
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            LevelDistribute(stride=0)
+
+    def test_empty_region(self, vliw4):
+        b = RegionBuilder("tiny")
+        b.li(1.0)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        LevelDistribute().apply(ctx)  # must not raise
+
+
+class TestPathPropagate:
+    def chain_with_confident_head(self, vliw4, cluster=1):
+        b = RegionBuilder("r")
+        v0 = b.live_in(name="v0")
+        v1 = b.fmul(v0, v0)
+        v2 = b.fmul(v1, v1)
+        v3 = b.fmul(v2, v2)
+        b.live_out(v3)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        ctx.matrix.scale(v0.uid, 40.0, cluster=cluster)
+        ctx.matrix.normalize()
+        return region, ctx, (v0, v1, v2, v3)
+
+    def test_propagates_downward(self, vliw4):
+        region, ctx, (v0, v1, v2, v3) = self.chain_with_confident_head(vliw4)
+        PathPropagate(threshold=1.5).apply(ctx)
+        for v in (v1, v2, v3):
+            assert ctx.matrix.preferred_cluster(v.uid) == 1
+
+    def test_propagates_upward(self, vliw4):
+        b = RegionBuilder("r")
+        v0 = b.live_in(name="v0")
+        v1 = b.fmul(v0, v0)
+        v2 = b.fmul(v1, v1)
+        b.live_out(v2)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        ctx.matrix.scale(v2.uid, 40.0, cluster=3)
+        ctx.matrix.normalize()
+        PathPropagate(threshold=1.5).apply(ctx)
+        assert ctx.matrix.preferred_cluster(v1.uid) == 3
+
+    def test_no_confident_sources_is_noop(self, vliw4):
+        b = RegionBuilder("r")
+        x = b.live_in()
+        b.live_out(b.fadd(x, x))
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        before = ctx.matrix.data.copy()
+        PathPropagate(threshold=1.5).apply(ctx)
+        assert np.allclose(ctx.matrix.data, before)
+
+    def test_does_not_overwrite_preplaced(self, vliw4):
+        b = RegionBuilder("r")
+        v0 = b.live_in(name="v0")
+        v1 = b.fmul(v0, v0)
+        pinned = b.live_out(v1, home_cluster=2)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        Place().apply(ctx)
+        ctx.matrix.scale(v0.uid, 40.0, cluster=1)
+        ctx.matrix.normalize()
+        PathPropagate(threshold=1.5).apply(ctx)
+        assert ctx.matrix.preferred_cluster(pinned.uid) == 2
+
+    def test_invariants_hold_after_pass(self, vliw4):
+        region, ctx, _ = self.chain_with_confident_head(vliw4)
+        PathPropagate(threshold=1.2).apply(ctx)
+        ctx.matrix.normalize()
+        ctx.matrix.check_invariants()

@@ -1,0 +1,270 @@
+"""Unit tests for PATH, COMM, PLACEPROP, and LOAD."""
+
+import numpy as np
+import pytest
+
+from repro.core import PreferenceMatrix
+from repro.core.passes import (
+    CommunicationMinimize,
+    CriticalPathStrengthen,
+    LoadBalance,
+    PassContext,
+    Place,
+    PreplacementPropagate,
+    expected_cluster_load,
+)
+from repro.ir import RegionBuilder
+from repro.ir.regions import Program
+from repro.workloads import apply_congruence
+
+
+def make_ctx(region, machine, seed=0):
+    matrix = PreferenceMatrix.for_region(region.ddg, machine.n_clusters)
+    return PassContext(
+        ddg=region.ddg, machine=machine, matrix=matrix,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestPath:
+    def test_critical_path_lands_on_one_cluster(self, vliw4):
+        b = RegionBuilder("r")
+        v = b.live_in(name="v")
+        for _ in range(5):
+            v = b.fmul(v, v)
+        b.live_out(v)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        CriticalPathStrengthen().apply(ctx)
+        path = region.ddg.critical_path()
+        clusters = {ctx.matrix.preferred_cluster(i) for i in path}
+        assert len(clusters) == 1
+
+    def test_path_with_bias_follows_bias(self, vliw4):
+        b = RegionBuilder("r")
+        v = b.live_in(name="v")
+        for _ in range(4):
+            v = b.fmul(v, v)
+        b.live_out(v)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        path = region.ddg.critical_path()
+        for uid in path:
+            ctx.matrix.scale(uid, 2.0, cluster=3)
+        ctx.matrix.normalize()
+        CriticalPathStrengthen().apply(ctx)
+        assert all(ctx.matrix.preferred_cluster(i) == 3 for i in path)
+
+    def test_path_splits_at_conflicting_preplacement(self, vliw4):
+        b = RegionBuilder("r")
+        head = b.live_in(name="h", home_cluster=1)
+        mid = b.fmul(head, head)
+        mid2 = b.fmul(mid, mid)
+        tail = b.live_out(mid2, home_cluster=3)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        CriticalPathStrengthen().apply(ctx)
+        # The head half leans to cluster 1, the tail half to cluster 3.
+        assert ctx.matrix.preferred_cluster(head.uid) == 1
+        assert ctx.matrix.preferred_cluster(tail.uid) == 3
+
+    def test_unbiased_path_goes_to_least_loaded(self, vliw4):
+        b = RegionBuilder("r")
+        v = b.live_in(name="v")
+        for _ in range(3):
+            v = b.fmul(v, v)
+        b.live_out(v)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        # Load up clusters 0-2 with background mass.
+        ctx.matrix.data[:, :3, :] *= 1.5
+        ctx.matrix.touch()
+        ctx.matrix.normalize()
+        CriticalPathStrengthen(bias_ratio=10.0).apply(ctx)
+        path = region.ddg.critical_path()
+        assert all(ctx.matrix.preferred_cluster(i) == 3 for i in path)
+
+    def test_empty_graph_noop(self, vliw4):
+        b = RegionBuilder("empty")
+        b.li(1.0)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        CriticalPathStrengthen().apply(ctx)  # must not raise
+
+
+class TestComm:
+    def test_pulls_consumer_to_producer(self, vliw4):
+        b = RegionBuilder("r")
+        x = b.live_in(name="x")
+        y = b.fadd(x, x)
+        b.live_out(y)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        ctx.matrix.scale(x.uid, 50.0, cluster=2)
+        ctx.matrix.normalize()
+        CommunicationMinimize().apply(ctx)
+        assert ctx.matrix.preferred_cluster(y.uid) == 2
+
+    def test_grandparents_influence_when_enabled(self, vliw4):
+        b = RegionBuilder("r")
+        x = b.live_in(name="x")
+        mid = b.fadd(x, x)
+        top = b.fadd(mid, mid)
+        b.live_out(top)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        ctx.matrix.scale(x.uid, 100.0, cluster=1)
+        ctx.matrix.normalize()
+        CommunicationMinimize(include_grand=True, sharpen=1.0).apply(ctx)
+        # top is two hops from x and should still feel the pull.
+        marg = ctx.matrix.cluster_marginals()[top.uid]
+        assert marg[1] == max(marg)
+
+    def test_isolated_instruction_unchanged(self, vliw4):
+        b = RegionBuilder("r")
+        lone = b.li(3.0)
+        x = b.live_in()
+        b.live_out(b.fadd(x, x))
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        before = ctx.matrix.data[lone.uid].copy()
+        CommunicationMinimize(sharpen=1.0).apply(ctx)
+        after = ctx.matrix.data[lone.uid]
+        assert np.allclose(before / before.sum(), after / after.sum())
+
+    def test_sharpen_doubles_preferred_slot(self, vliw4):
+        b = RegionBuilder("r")
+        x = b.live_in()
+        b.live_out(b.fadd(x, x))
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        ctx.matrix.scale(0, 3.0, cluster=1, time=0)
+        ctx.matrix.normalize()
+        CommunicationMinimize(include_grand=False, sharpen=2.0).apply(ctx)
+        ctx.matrix.check_invariants()
+        assert ctx.matrix.preferred_cluster(0) == 1
+
+
+class TestPlaceProp:
+    def stencil_region(self, machine):
+        b = RegionBuilder("r")
+        lhs = b.load(bank=0, array="a", name="a[0]")
+        rhs = b.load(bank=1, array="a", name="a[1]")
+        s = b.fadd(lhs, rhs)
+        b.store(s, bank=0, array="out")
+        program = Program("p", [b.build()])
+        apply_congruence(program, machine)
+        return program.regions[0], lhs, rhs
+
+    def test_propagates_toward_anchors(self, vliw4):
+        region, lhs, rhs = self.stencil_region(vliw4)
+        ctx = make_ctx(region, vliw4)
+        Place().apply(ctx)
+        PreplacementPropagate().apply(ctx)
+        ctx.matrix.check_invariants()
+        # The fadd neighbours banks 0 and 1; distant clusters 2,3 lose.
+        marg = ctx.matrix.cluster_marginals()[2]
+        assert marg[0] > marg[2] and marg[0] > marg[3]
+        assert marg[1] > marg[2]
+
+    def test_noop_without_preplacement(self, vliw4):
+        b = RegionBuilder("r")
+        x = b.live_in()
+        b.live_out(b.fadd(x, x))
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        before = ctx.matrix.data.copy()
+        PreplacementPropagate().apply(ctx)
+        assert np.allclose(ctx.matrix.data, before)
+
+    def test_preplaced_instructions_unscaled(self, vliw4):
+        region, lhs, rhs = self.stencil_region(vliw4)
+        ctx = make_ctx(region, vliw4)
+        before = ctx.matrix.data[lhs.uid].copy()
+        PreplacementPropagate().apply(ctx)
+        after = ctx.matrix.data[lhs.uid]
+        assert np.allclose(before / before.sum(), after / after.sum())
+
+
+class TestLoadBalance:
+    def test_discourages_heavy_cluster(self, vliw4):
+        b = RegionBuilder("r")
+        x = b.live_in()
+        for _ in range(4):
+            x = b.fadd(x, x)
+        b.live_out(x)
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        ctx.matrix.data[:, 0, :] *= 10
+        ctx.matrix.touch()
+        ctx.matrix.normalize()
+        heavy_before = expected_cluster_load(ctx.matrix)[0]
+        LoadBalance().apply(ctx)
+        heavy_after = expected_cluster_load(ctx.matrix)[0]
+        assert heavy_after < heavy_before
+
+    def test_balanced_input_stays_balanced(self, vliw4):
+        b = RegionBuilder("r")
+        x = b.live_in()
+        b.live_out(b.fadd(x, x))
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        before = ctx.matrix.data.copy()
+        LoadBalance().apply(ctx)
+        assert np.allclose(ctx.matrix.data, before)
+
+    def test_expected_load_sums_to_instruction_count(self, vliw4):
+        b = RegionBuilder("r")
+        x = b.live_in()
+        b.live_out(b.fadd(x, x))
+        region = b.build()
+        ctx = make_ctx(region, vliw4)
+        assert expected_cluster_load(ctx.matrix).sum() == pytest.approx(len(region.ddg))
+
+
+class TestMultiPath:
+    def test_paths_validation(self):
+        with pytest.raises(ValueError):
+            CriticalPathStrengthen(paths=0)
+
+    def two_chains(self):
+        b = RegionBuilder("r")
+        u = b.live_in(name="u")
+        v = b.live_in(name="v")
+        for _ in range(4):
+            u = b.fmul(u, u)
+        for _ in range(4):
+            v = b.fmul(v, v)
+        b.live_out(u)
+        b.live_out(v)
+        return b.build()
+
+    def test_two_paths_cover_both_chains(self, vliw4):
+        region = self.two_chains()
+        ctx = make_ctx(region, vliw4)
+        pass_ = CriticalPathStrengthen(paths=2)
+        paths = pass_._find_paths(ctx)
+        assert len(paths) == 2
+        covered = {uid for p in paths for uid in p}
+        assert len(covered) >= len(region.ddg) - 2
+
+    def test_paths_are_disjoint(self, vliw4):
+        region = self.two_chains()
+        ctx = make_ctx(region, vliw4)
+        paths = CriticalPathStrengthen(paths=3)._find_paths(ctx)
+        seen = set()
+        for p in paths:
+            assert not (seen & set(p))
+            seen.update(p)
+
+    def test_each_chain_gets_one_cluster(self, vliw4):
+        region = self.two_chains()
+        ctx = make_ctx(region, vliw4)
+        CriticalPathStrengthen(paths=2).apply(ctx)
+        chains = [[], []]
+        for inst in region.ddg:
+            if inst.opcode.value == "fmul":
+                chains[0 if inst.uid < 6 else 1].append(inst.uid)
+        for chain in chains:
+            clusters = {ctx.matrix.preferred_cluster(u) for u in chain}
+            assert len(clusters) == 1

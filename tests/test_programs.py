@@ -1,0 +1,81 @@
+"""Unit tests for the multi-region whole-program workloads."""
+
+import pytest
+
+from repro.core import ConvergentScheduler
+from repro.harness import run_program
+from repro.machine import RawMachine, raw_with_tiles
+from repro.sim import simulate
+from repro.workloads import apply_congruence, assign_cross_region_homes
+from repro.workloads.programs import partial_sums_program, stencil_pipeline
+
+
+class TestPartialSums:
+    def test_structure(self):
+        program = partial_sums_program(chunks=4, per_chunk=8)
+        assert len(program.regions) == 5
+        combine = program.regions[-1]
+        assert len(combine.live_ins()) == 4
+
+    def test_partials_connect_regions_by_name(self):
+        program = partial_sums_program(chunks=3)
+        outs = {
+            program.regions[c].ddg.instruction(u).name
+            for c in range(3)
+            for u in program.regions[c].live_outs()
+        }
+        ins = {
+            program.regions[-1].ddg.instruction(u).name
+            for u in program.regions[-1].live_ins()
+        }
+        assert outs == ins == {"partial0", "partial1", "partial2"}
+
+    def test_whole_program_runs_on_raw(self):
+        machine = raw_with_tiles(4)
+        program = partial_sums_program(chunks=4, per_chunk=8, banks=4)
+        apply_congruence(program, machine)
+        result = run_program(program, machine, ConvergentScheduler())
+        assert result.cycles > 0
+
+    def test_affinity_homes_follow_chunk_banks(self):
+        machine = raw_with_tiles(4)
+        program = partial_sums_program(chunks=4, per_chunk=4, banks=16)
+        homes = assign_cross_region_homes(program, machine)
+        # Chunk k loads banks 4k..4k+3, all congruent to distinct tiles;
+        # each partial should live near its own chunk, hence homes differ.
+        assert len(set(homes.values())) > 1
+
+    def test_affinity_assignment_not_worse_than_convention(self):
+        def total_cycles(program, machine):
+            result = run_program(program, machine, ConvergentScheduler())
+            return result.cycles
+
+        machine = raw_with_tiles(4)
+        smart = partial_sums_program(chunks=4, per_chunk=8, banks=4)
+        assign_cross_region_homes(smart, machine)
+        naive = partial_sums_program(chunks=4, per_chunk=8, banks=4)
+        apply_congruence(naive, machine)
+        assert total_cycles(smart, machine) <= total_cycles(naive, machine) * 1.05
+
+
+class TestStencilPipeline:
+    def test_boundary_values_link_stages(self):
+        program = stencil_pipeline(stages=3, width=6)
+        assert len(program.regions) == 3
+        for stage in range(1, 3):
+            names = {
+                program.regions[stage].ddg.instruction(u).name
+                for u in program.regions[stage].live_ins()
+            }
+            assert names == {f"lo{stage}", f"hi{stage}"}
+
+    def test_every_stage_schedules(self, raw4):
+        program = stencil_pipeline(stages=3, width=6, banks=4)
+        apply_congruence(program, raw4)
+        for region in program.regions:
+            schedule = ConvergentScheduler().schedule(region, raw4)
+            assert simulate(region, raw4, schedule).ok
+
+    def test_regions_validate(self):
+        for region in stencil_pipeline().regions:
+            region.ddg.validate()

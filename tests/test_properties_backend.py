@@ -1,0 +1,111 @@
+"""Property-based tests for the backend: switch code, register
+allocation, and dynamic replay on random graphs and assignments."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.regions import Program
+from repro.machine import RawMachine
+from repro.machine.switchgen import generate_switch_code, validate_switch_code
+from repro.regalloc import allocate_registers, live_intervals, pressure_profile
+from repro.schedulers import ListScheduler
+from repro.schedulers.list_scheduler import feasible_clusters
+from repro.sim import simulate
+from repro.sim.dynamic import dynamic_execute
+from repro.workloads import apply_congruence
+
+from .test_properties import random_dags
+
+
+def random_schedule(region, machine, salt):
+    """A legal schedule with a random feasible assignment."""
+    apply_congruence(Program("p", [region]), machine)
+    rng = np.random.default_rng(salt)
+    assignment = {}
+    for inst in region.ddg:
+        feasible = feasible_clusters(inst, machine)
+        assignment[inst.uid] = feasible[int(rng.integers(len(feasible)))]
+    return ListScheduler().schedule(region, machine, assignment=assignment)
+
+
+class TestSwitchCodeProperties:
+    @given(random_dags(max_nodes=30), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_switch_code_is_always_clean(self, region, salt):
+        machine = RawMachine(2, 2)
+        schedule = random_schedule(region, machine, salt)
+        programs = generate_switch_code(schedule, machine)
+        assert validate_switch_code(programs, schedule, machine) == []
+
+    @given(random_dags(max_nodes=30), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_hop_counts_match_distances(self, region, salt):
+        machine = RawMachine(2, 2)
+        schedule = random_schedule(region, machine, salt)
+        programs = generate_switch_code(schedule, machine)
+        total_ops = sum(len(ops) for ops in programs.values())
+        expected = sum(
+            machine.distance(ev.src, ev.dst) + 1 for ev in schedule.comms
+        )
+        assert total_ops == expected
+
+
+class TestRegallocProperties:
+    @given(random_dags(max_nodes=30), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_intervals_cover_every_operand_read(self, region, salt):
+        machine = RawMachine(2, 2)
+        schedule = random_schedule(region, machine, salt)
+        intervals = {
+            (iv.value, iv.cluster): iv
+            for iv in live_intervals(region, machine, schedule)
+        }
+        for uid, op in schedule.ops.items():
+            inst = region.ddg.instruction(uid)
+            for operand in inst.operands:
+                iv = intervals.get((operand, op.cluster))
+                assert iv is not None
+                assert iv.start <= op.start <= iv.end or iv.end >= op.start
+
+    @given(random_dags(max_nodes=30), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_allocation_never_double_books_registers(self, region, salt):
+        machine = RawMachine(2, 2, registers=6)
+        schedule = random_schedule(region, machine, salt)
+        result = allocate_registers(region, machine, schedule)
+        intervals = {
+            (iv.value, iv.cluster): iv
+            for iv in live_intervals(region, machine, schedule)
+        }
+        by_register = {}
+        for (value, cluster), reg in result.assignments.items():
+            by_register.setdefault((cluster, reg), []).append(
+                intervals[(value, cluster)]
+            )
+        for ivs in by_register.values():
+            ivs.sort(key=lambda iv: iv.start)
+            for a, b in zip(ivs, ivs[1:]):
+                assert a.end <= b.start
+
+    @given(random_dags(max_nodes=30), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_pressure_bounds_allocation(self, region, salt):
+        machine = RawMachine(2, 2)
+        schedule = random_schedule(region, machine, salt)
+        peak = pressure_profile(region, machine, schedule).peak()
+        result = allocate_registers(region, machine, schedule)
+        # With 30 registers and small graphs, spills imply peak > budget.
+        if result.spill_count:
+            assert peak > machine.clusters[0].registers - 2
+
+
+class TestDynamicProperties:
+    @given(random_dags(max_nodes=30), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_valid_schedules_never_run_late(self, region, salt):
+        machine = RawMachine(2, 2)
+        schedule = random_schedule(region, machine, salt)
+        assert simulate(region, machine, schedule).ok
+        report = dynamic_execute(region, machine, schedule)
+        assert report.ok
+        assert report.cycles <= schedule.makespan

@@ -1,0 +1,99 @@
+"""Unit tests for the REGPRESS convergent pass."""
+
+import numpy as np
+import pytest
+
+from repro.core import PreferenceMatrix, make_pass
+from repro.core.passes import PassContext, RegisterPressure
+from repro.ir import RegionBuilder
+from repro.machine import ClusteredVLIW
+
+
+def make_ctx(region, machine, seed=0):
+    matrix = PreferenceMatrix.for_region(region.ddg, machine.n_clusters)
+    return PassContext(
+        ddg=region.ddg, machine=machine, matrix=matrix,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def long_lived_values(n=24):
+    """Many values defined early and consumed at the end: high pressure."""
+    b = RegionBuilder("pressure")
+    values = [b.li(float(i)) for i in range(n)]
+    total = b.reduce(values)
+    b.live_out(total)
+    return b.build()
+
+
+class TestRegisterPressure:
+    def test_registered_in_pass_registry(self):
+        p = make_pass("REGPRESS(strength=2.0)")
+        assert isinstance(p, RegisterPressure)
+        assert p.strength == 2.0
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterPressure(strength=-1)
+
+    def test_expected_pressure_positive(self, vliw4):
+        region = long_lived_values()
+        ctx = make_ctx(region, vliw4)
+        pressure = RegisterPressure().expected_pressure(ctx)
+        assert pressure.shape == (4,)
+        assert np.all(pressure > 0)
+
+    def test_noop_when_within_budget(self, vliw4):
+        region = long_lived_values(n=8)
+        ctx = make_ctx(region, vliw4)
+        before = ctx.matrix.data.copy()
+        RegisterPressure().apply(ctx)
+        assert np.allclose(ctx.matrix.data, before)
+
+    def test_relieves_oversubscribed_cluster(self):
+        tiny = ClusteredVLIW(4, registers=4)
+        region = long_lived_values(n=40)
+        ctx = make_ctx(region, tiny)
+        # Pile everything onto cluster 0.
+        ctx.matrix.data[:, 0, :] *= 50
+        ctx.matrix.touch()
+        ctx.matrix.normalize()
+        pass_ = RegisterPressure(strength=4.0)
+        before = pass_.expected_pressure(ctx)[0]
+        pass_.apply(ctx)
+        after = pass_.expected_pressure(ctx)[0]
+        assert after < before
+
+    def test_invariants_preserved(self):
+        tiny = ClusteredVLIW(2, registers=2)
+        region = long_lived_values(n=30)
+        ctx = make_ctx(region, tiny)
+        RegisterPressure().apply(ctx)
+        ctx.matrix.normalize()
+        ctx.matrix.check_invariants()
+
+    def test_reduces_peak_pressure_end_to_end(self):
+        """With REGPRESS in the sequence, the scheduled peak pressure on
+        a register-starved machine should not increase."""
+        from repro.core import ConvergentScheduler, TUNED_VLIW_SEQUENCE
+        from repro.regalloc import pressure_profile
+        from repro.sim import simulate
+
+        machine = ClusteredVLIW(4, registers=8)
+        without = ConvergentScheduler().converge(long_lived_values(n=32), machine)
+        augmented = list(TUNED_VLIW_SEQUENCE[:-1]) + [
+            "REGPRESS(strength=4.0)",
+            TUNED_VLIW_SEQUENCE[-1],
+        ]
+        region = long_lived_values(n=32)
+        with_pass = ConvergentScheduler(passes=augmented).converge(region, machine)
+        simulate(region, machine, with_pass.schedule)
+        peak_without = max(
+            pressure_profile(
+                long_lived_values(n=32), machine, without.schedule
+            ).max_pressure.values()
+        )
+        peak_with = max(
+            pressure_profile(region, machine, with_pass.schedule).max_pressure.values()
+        )
+        assert peak_with <= peak_without + 2

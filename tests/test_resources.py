@@ -1,0 +1,87 @@
+"""Unit tests for the reservation table."""
+
+import pytest
+
+from repro.schedulers.resources import ReservationTable
+
+
+class TestReservation:
+    def test_reserve_and_query(self):
+        t = ReservationTable()
+        assert t.is_free("fu", 3)
+        t.reserve("fu", 3)
+        assert not t.is_free("fu", 3)
+        assert t.is_free("fu", 4)
+
+    def test_double_booking_rejected(self):
+        t = ReservationTable()
+        t.reserve(("link", 0, 1), 5)
+        with pytest.raises(ValueError):
+            t.reserve(("link", 0, 1), 5)
+
+    def test_distinct_keys_independent(self):
+        t = ReservationTable()
+        t.reserve(("fu", 0, 0), 1)
+        assert t.is_free(("fu", 0, 1), 1)
+        assert t.is_free(("fu", 1, 0), 1)
+
+
+class TestPipelineSearch:
+    def test_first_free_pipeline_skips_conflicts(self):
+        t = ReservationTable()
+        keys = ["a", "b", "c"]
+        t.reserve("b", 4)  # blocks a start at 3 (b busy at 3+1)
+        assert t.first_free_pipeline(keys, 3) == 4
+        # starting at 4: a@4, b@5, c@6 -- b free at 5, fine.
+
+    def test_reserve_pipeline_offsets(self):
+        t = ReservationTable()
+        keys = ["x", "y"]
+        t.reserve_pipeline(keys, 10)
+        assert not t.is_free("x", 10)
+        assert not t.is_free("y", 11)
+        assert t.is_free("y", 10)
+
+    def test_empty_pipeline_is_immediate(self):
+        t = ReservationTable()
+        assert t.first_free_pipeline([], 7) == 7
+
+    def test_back_to_back_pipelines(self):
+        t = ReservationTable()
+        keys = ["l1", "l2"]
+        s1 = t.first_free_pipeline(keys, 0)
+        t.reserve_pipeline(keys, s1)
+        s2 = t.first_free_pipeline(keys, 0)
+        t.reserve_pipeline(keys, s2)
+        assert {s1, s2} == {0, 1}
+
+
+class TestAnySearch:
+    def test_picks_first_free_unit(self):
+        t = ReservationTable()
+        keys = [("fu", 0, 0), ("fu", 0, 1)]
+        t.reserve(("fu", 0, 0), 2)
+        cycle, key = t.first_free_any(keys, 2)
+        assert cycle == 2 and key == ("fu", 0, 1)
+
+    def test_advances_when_all_busy(self):
+        t = ReservationTable()
+        keys = [("fu", 0, 0)]
+        t.reserve(("fu", 0, 0), 0)
+        t.reserve(("fu", 0, 0), 1)
+        cycle, _ = t.first_free_any(keys, 0)
+        assert cycle == 2
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(ValueError):
+            ReservationTable().first_free_any([], 0)
+
+    def test_utilization_counts(self):
+        t = ReservationTable()
+        t.reserve("a", 0)
+        t.reserve("a", 1)
+        t.reserve("b", 0)
+        util = t.utilization()
+        assert util["a"] == 2 and util["b"] == 1
+        only_a = t.utilization(lambda k: k == "a")
+        assert list(only_a) == ["a"]

@@ -1,0 +1,91 @@
+"""Unit tests for result serialization round-trips."""
+
+import pytest
+
+from repro.harness.convergence import ConvergenceStudy
+from repro.harness.results import (
+    convergence_study_from_dict,
+    load_result,
+    save_result,
+    scaling_result_from_dict,
+    speedup_table_from_dict,
+    speedup_table_to_dict,
+)
+from repro.harness.scaling import ScalingResult
+from repro.harness.speedup import SpeedupTable
+
+
+def sample_table():
+    table = SpeedupTable(sizes=(4, 16))
+    table.baseline_cycles = {"mxm": 500}
+    table.speedups = {"mxm": {"convergent": {4: 4.0, 16: 8.0}, "rawcc": {4: 2.5, 16: 6.8}}}
+    return table
+
+
+def sample_study():
+    study = ConvergenceStudy(machine_name="raw4x4")
+    study.pass_names = ["PLACEPROP", "COMM"]
+    study.series = {"mxm": [0.5, 0.0]}
+    return study
+
+
+def sample_scaling():
+    result = ScalingResult(sizes=(50, 100))
+    result.seconds = {"pcc": {50: 0.01, 100: 0.05}, "uas": {50: 0.002, 100: 0.004}}
+    return result
+
+
+class TestRoundTrips:
+    def test_speedup_table(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_result(sample_table(), path)
+        loaded = load_result(path)
+        assert isinstance(loaded, SpeedupTable)
+        assert loaded.speedups["mxm"]["convergent"][16] == 8.0
+        assert loaded.baseline_cycles["mxm"] == 500
+        assert tuple(loaded.sizes) == (4, 16)
+
+    def test_convergence_study(self, tmp_path):
+        path = tmp_path / "c.json"
+        save_result(sample_study(), path)
+        loaded = load_result(path)
+        assert isinstance(loaded, ConvergenceStudy)
+        assert loaded.series["mxm"] == [0.5, 0.0]
+        assert loaded.pass_names == ["PLACEPROP", "COMM"]
+
+    def test_scaling_result(self, tmp_path):
+        path = tmp_path / "s.json"
+        save_result(sample_scaling(), path)
+        loaded = load_result(path)
+        assert isinstance(loaded, ScalingResult)
+        assert loaded.seconds["pcc"][100] == 0.05
+        assert loaded.growth_factor("uas") == pytest.approx(2.0)
+
+    def test_loaded_table_renders(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_result(sample_table(), path)
+        text = load_result(path).render("roundtrip")
+        assert "mxm" in text
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError):
+            speedup_table_from_dict({"kind": "nope"})
+        with pytest.raises(ValueError):
+            convergence_study_from_dict({"kind": "nope"})
+        with pytest.raises(ValueError):
+            scaling_result_from_dict({"kind": "nope"})
+
+    def test_unserializable_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_result(object(), tmp_path / "x.json")
+
+    def test_unknown_file_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "martian"}')
+        with pytest.raises(ValueError):
+            load_result(path)
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        json.dumps(speedup_table_to_dict(sample_table()))

@@ -1,0 +1,86 @@
+"""Unit tests for the Schedule data model."""
+
+import pytest
+
+from repro.schedulers.schedule import CommEvent, Schedule, ScheduledOp
+
+
+def make_schedule():
+    s = Schedule(region_name="r", machine_name="m")
+    s.add_op(ScheduledOp(uid=0, cluster=0, unit=0, start=0, latency=3))
+    s.add_op(ScheduledOp(uid=1, cluster=1, unit=0, start=5, latency=1))
+    s.add_comm(
+        CommEvent(producer_uid=0, src=0, dst=1, issue=3, arrival=4,
+                  resources=(("xfer", 0, -1),))
+    )
+    return s
+
+
+class TestScheduleBasics:
+    def test_finish_is_start_plus_latency(self):
+        op = ScheduledOp(uid=0, cluster=0, unit=0, start=2, latency=4)
+        assert op.finish == 6
+
+    def test_duplicate_uid_rejected(self):
+        s = make_schedule()
+        with pytest.raises(ValueError):
+            s.add_op(ScheduledOp(uid=0, cluster=2, unit=0, start=9, latency=1))
+
+    def test_makespan_covers_ops_and_comms(self):
+        s = make_schedule()
+        assert s.makespan == 6  # op 1 finishes at 6 > arrival 4
+
+    def test_makespan_empty(self):
+        assert Schedule(region_name="r", machine_name="m").makespan == 0
+
+    def test_assignment_and_cluster_of(self):
+        s = make_schedule()
+        assert s.assignment() == {0: 0, 1: 1}
+        assert s.cluster_of(1) == 1
+
+    def test_ops_on_cluster_sorted(self):
+        s = make_schedule()
+        s.add_op(ScheduledOp(uid=2, cluster=0, unit=1, start=0, latency=1))
+        uids = [op.uid for op in s.ops_on_cluster(0)]
+        assert uids == [0, 2]
+
+    def test_cluster_loads(self):
+        s = make_schedule()
+        assert s.cluster_loads(3) == [1, 1, 0]
+
+
+class TestArrival:
+    def test_local_arrival_is_finish(self):
+        s = make_schedule()
+        assert s.arrival_of(0, 0) == 3
+
+    def test_remote_arrival_uses_transfer(self):
+        s = make_schedule()
+        assert s.arrival_of(0, 1) == 4
+
+    def test_missing_transfer_returns_none(self):
+        s = make_schedule()
+        assert s.arrival_of(0, 2) is None
+
+    def test_unscheduled_value_returns_none(self):
+        s = make_schedule()
+        assert s.arrival_of(42, 0) is None
+
+    def test_earliest_of_multiple_transfers(self):
+        s = make_schedule()
+        s.add_comm(CommEvent(producer_uid=0, src=0, dst=1, issue=8, arrival=9))
+        assert s.arrival_of(0, 1) == 4
+
+
+class TestRender:
+    def test_render_contains_clusters_and_uids(self):
+        s = make_schedule()
+        text = s.render(n_clusters=2)
+        assert "c0" in text and "c1" in text
+        assert "0" in text
+
+    def test_render_truncates(self):
+        s = Schedule(region_name="r", machine_name="m")
+        s.add_op(ScheduledOp(uid=0, cluster=0, unit=0, start=500, latency=1))
+        text = s.render(n_clusters=1, max_cycles=10)
+        assert "more cycles" in text

@@ -1,0 +1,92 @@
+"""Unit tests for automatic pass-sequence search."""
+
+import pytest
+
+from repro.core.search import (
+    DEFAULT_POOL,
+    SequenceSearch,
+    evaluate_sequence,
+    search_sequence_for,
+)
+from repro.machine import ClusteredVLIW
+from repro.workloads import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def training(request):
+    machine = ClusteredVLIW(4)
+    regions = [
+        build_benchmark("vvmul", machine).regions[0],
+        build_benchmark("yuv", machine).regions[0],
+    ]
+    return machine, regions
+
+
+class TestEvaluate:
+    def test_good_sequence_scores_finite(self, training):
+        machine, regions = training
+        score = evaluate_sequence(
+            ["INITTIME", "NOISE", "PLACE", "LOAD", "COMM", "EMPHCP"],
+            regions,
+            machine,
+        )
+        assert 0 < score < float("inf")
+
+    def test_score_is_trip_weighted_sum(self, training):
+        machine, regions = training
+        regions[0].trip_count = 1
+        one = evaluate_sequence(["INITTIME", "COMM"], regions[:1], machine)
+        regions[0].trip_count = 7
+        seven = evaluate_sequence(["INITTIME", "COMM"], regions[:1], machine)
+        regions[0].trip_count = 1
+        assert seven == pytest.approx(7 * one)
+
+    def test_unknown_pass_scores_inf(self, training):
+        machine, regions = training
+        assert evaluate_sequence(["INITTIME", "WARP"], regions, machine) == float("inf")
+
+
+class TestSearch:
+    def test_requires_training_regions(self):
+        with pytest.raises(ValueError):
+            SequenceSearch(ClusteredVLIW(4), [])
+
+    def test_search_never_regresses(self, training):
+        machine, regions = training
+        start = ["INITTIME", "NOISE", "COMM", "EMPHCP"]
+        search = SequenceSearch(machine, regions, seed=1)
+        result = search.run(start=start, iterations=25)
+        start_score = evaluate_sequence(start, regions, machine)
+        assert result.best_score <= start_score
+        scores = [s for _, s in result.history]
+        assert scores == sorted(scores, reverse=True)  # monotone improvement
+
+    def test_inittime_always_first(self, training):
+        machine, regions = training
+        result = search_sequence_for(machine, regions, iterations=15, seed=3)
+        assert result.best_sequence[0] == "INITTIME"
+        assert "INITTIME" not in result.best_sequence[1:]
+
+    def test_deterministic_given_seed(self, training):
+        machine, regions = training
+        a = search_sequence_for(machine, regions, iterations=12, seed=5)
+        b = search_sequence_for(machine, regions, iterations=12, seed=5)
+        assert a.best_sequence == b.best_sequence
+        assert a.best_score == b.best_score
+
+    def test_evaluation_budget_respected(self, training):
+        machine, regions = training
+        result = search_sequence_for(machine, regions, iterations=10, seed=0)
+        assert result.evaluations == 11  # start + 10 candidates
+
+    def test_mutations_respect_max_length(self, training):
+        machine, regions = training
+        search = SequenceSearch(machine, regions, max_length=3, seed=2)
+        body = ["NOISE", "COMM", "EMPHCP"]
+        for _ in range(50):
+            body = search._mutate(body)
+            assert len(body) <= 3
+            assert all(
+                spec.partition("(")[0] in set(p.partition("(")[0] for p in DEFAULT_POOL)
+                for spec in body
+            )

@@ -1,0 +1,89 @@
+"""Unit tests for superblock formation (tail duplication)."""
+
+import pytest
+
+from repro.core import ConvergentScheduler
+from repro.ir import ControlFlowGraph, Opcode, RegionKind, Stmt, form_traces
+from repro.ir.superblocks import program_from_cfg_superblocks, tail_duplicate
+from repro.sim import simulate
+from repro.workloads import apply_congruence
+
+from .test_cfg import diamond_cfg
+
+
+def has_side_entrance(cfg, trace):
+    trace_set = set(trace)
+    for name in trace[1:]:
+        if any(e.src not in trace_set for e in cfg.predecessors(name)):
+            return True
+    return False
+
+
+class TestTailDuplicate:
+    def test_diamond_join_is_duplicated(self):
+        cfg = diamond_cfg()
+        cfg.propagate_frequencies(100)
+        duplicated = tail_duplicate(cfg)
+        names = {b.name for b in duplicated.blocks()}
+        assert "join.dup" in names
+        # The cold side now reaches the duplicate, not the original.
+        else_targets = {e.dst for e in duplicated.successors("else")}
+        assert else_targets == {"join.dup"}
+
+    def test_no_trace_has_side_entrances_after_duplication(self):
+        cfg = diamond_cfg()
+        cfg.propagate_frequencies(100)
+        duplicated = tail_duplicate(cfg)
+        for trace in form_traces(duplicated):
+            assert not has_side_entrance(duplicated, trace)
+
+    def test_frequencies_split_between_original_and_clone(self):
+        cfg = diamond_cfg()
+        cfg.propagate_frequencies(100)
+        duplicated = tail_duplicate(cfg)
+        total = duplicated.frequency("join") + duplicated.frequency("join.dup")
+        assert total == pytest.approx(100)
+        assert duplicated.frequency("join.dup") == pytest.approx(10)
+
+    def test_straight_line_is_untouched(self):
+        cfg = ControlFlowGraph("line", inputs=set())
+        for name in ("entry", "a"):
+            cfg.add_block(name).add(Stmt(f"v{name}", Opcode.LI, immediate=1.0))
+        cfg.add_edge("entry", "a")
+        cfg.propagate_frequencies()
+        duplicated = tail_duplicate(cfg)
+        assert {b.name for b in duplicated.blocks()} == {"entry", "a"}
+
+    def test_duplicated_cfg_validates(self):
+        cfg = diamond_cfg()
+        cfg.propagate_frequencies(100)
+        tail_duplicate(cfg).validate()
+
+
+class TestSuperblockProgram:
+    def test_regions_are_superblocks(self):
+        cfg = diamond_cfg()
+        cfg.propagate_frequencies(100)
+        program = program_from_cfg_superblocks(cfg)
+        assert all(r.kind is RegionKind.SUPERBLOCK for r in program.regions)
+
+    def test_cold_path_has_its_own_store(self):
+        # After duplication both paths end in their own copy of the
+        # store, so each region is self-contained.
+        cfg = diamond_cfg()
+        cfg.propagate_frequencies(100)
+        program = program_from_cfg_superblocks(cfg)
+        store_counts = [
+            sum(1 for i in r.ddg if i.opcode is Opcode.STORE)
+            for r in program.regions
+        ]
+        assert sorted(store_counts, reverse=True)[:2] == [1, 1]
+
+    def test_superblock_regions_schedule_and_simulate(self, vliw4):
+        cfg = diamond_cfg()
+        cfg.propagate_frequencies(100)
+        program = program_from_cfg_superblocks(cfg)
+        apply_congruence(program, vliw4)
+        for region in program.regions:
+            schedule = ConvergentScheduler().schedule(region, vliw4)
+            assert simulate(region, vliw4, schedule).ok
