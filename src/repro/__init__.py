@@ -18,7 +18,7 @@ Quickstart::
     print(schedule.makespan)
 """
 
-from .core import ConvergentResult, ConvergentScheduler, PreferenceMatrix
+from .core import ConvergentResult, ConvergentScheduler, PassGuard, PreferenceMatrix
 from .ir import (
     DataDependenceGraph,
     Instruction,
@@ -29,6 +29,7 @@ from .ir import (
     RegionBuilder,
 )
 from .machine import ClusteredVLIW, Machine, RawMachine, raw_with_tiles
+from .schedulers import FallbackChain
 
 __version__ = "1.0.0"
 
@@ -37,10 +38,12 @@ __all__ = [
     "ConvergentResult",
     "ConvergentScheduler",
     "DataDependenceGraph",
+    "FallbackChain",
     "Instruction",
     "LatencyModel",
     "Machine",
     "Opcode",
+    "PassGuard",
     "PreferenceMatrix",
     "Program",
     "RawMachine",

@@ -7,7 +7,9 @@
 * ``table2`` / ``fig6`` / ``fig8`` / ``fig10`` / ``convergence`` —
   regenerate the paper's tables and figures;
 * ``search`` — hill-climb a pass sequence for a machine on a training
-  set.
+  set;
+* ``faults`` — seeded fault-injection campaign demonstrating the
+  guarded pipeline's graceful degradation.
 """
 
 from __future__ import annotations
@@ -19,9 +21,11 @@ from typing import List, Optional, Sequence
 
 from .core import ConvergentScheduler, PASS_REGISTRY, sequence_for_machine
 from .core.search import search_sequence_for
+from .faults import run_campaign
 from .harness import (
     compile_time_scaling,
     convergence_study,
+    format_degradations,
     raw_speedups,
     run_program,
     save_result,
@@ -30,6 +34,7 @@ from .harness import (
 from .machine import ClusteredVLIW, Machine, RawMachine, raw_with_tiles
 from .schedulers import (
     CarsScheduler,
+    FallbackChain,
     SimulatedAnnealingScheduler,
     PartialComponentClustering,
     RawccScheduler,
@@ -43,6 +48,7 @@ SCHEDULERS = {
     "anneal": SimulatedAnnealingScheduler,
     "cars": CarsScheduler,
     "convergent": ConvergentScheduler,
+    "fallback": FallbackChain,
     "uas": UnifiedAssignAndSchedule,
     "pcc": PartialComponentClustering,
     "rawcc": RawccScheduler,
@@ -89,7 +95,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         f"{args.benchmark} on {machine.name} with {args.scheduler}: "
         f"{result.cycles} cycles, {result.transfers} transfers, "
         f"compiled in {result.compile_seconds * 1000:.1f} ms"
+        + ("" if result.ok else f"  [status: {result.status}]")
     )
+    warning = format_degradations(result)
+    if warning:
+        print(warning)
+        return 1
     if args.render:
         region = program.regions[0]
         schedule = scheduler.schedule(region, machine)
@@ -142,6 +153,27 @@ def _cmd_convergence(args: argparse.Namespace) -> int:
     study = convergence_study(machine, _split(args.benchmarks) or suite)
     print(study.render())
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Run a seeded fault-injection campaign and print the report."""
+    machine = parse_machine(args.machine)
+    suite = RAW_SUITE if machine.name.startswith("raw") else VLIW_SUITE
+    names = _split(args.benchmarks) or list(suite)
+    regions = [
+        region
+        for name in names
+        for region in build_benchmark(name, machine).regions
+    ]
+    report = run_campaign(
+        machine,
+        regions,
+        n_trials=args.trials,
+        seed=args.seed,
+        guarded_fraction=args.guarded_fraction,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -229,6 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument("--sizes", help="tile counts for table2")
     run_all.add_argument("--scaling-sizes", help="graph sizes for fig10")
 
+    faults = sub.add_parser("faults", help="seeded fault-injection campaign")
+    faults.add_argument("--machine", default="vliw4")
+    faults.add_argument("--benchmarks", help="comma-separated subset")
+    faults.add_argument("--trials", type=int, default=100)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--guarded-fraction",
+        type=float,
+        default=0.75,
+        help="fraction of trials with the pass guard enabled",
+    )
+
     search = sub.add_parser("search", help="hill-climb a pass sequence")
     search.add_argument("--machine", default="vliw4")
     search.add_argument("--benchmarks")
@@ -246,6 +290,7 @@ _COMMANDS = {
     "fig8": _cmd_fig8,
     "fig10": _cmd_fig10,
     "convergence": _cmd_convergence,
+    "faults": _cmd_faults,
     "search": _cmd_search,
 }
 

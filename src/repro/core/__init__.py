@@ -1,6 +1,7 @@
 """Convergent scheduling: preference matrix, passes, driver, sequences."""
 
 from .convergent import ConvergentResult, ConvergentScheduler
+from .guard import GuardEvent, PassGuard
 from .metrics import ConvergenceTrace, PassRecord, TEMPORAL_ONLY_PASSES
 from .passes import PASS_REGISTRY, PassContext, SchedulingPass, make_pass
 from .sequences import (
@@ -17,6 +18,8 @@ __all__ = [
     "ConvergenceTrace",
     "ConvergentResult",
     "ConvergentScheduler",
+    "GuardEvent",
+    "PassGuard",
     "PASS_REGISTRY",
     "PassContext",
     "PassRecord",

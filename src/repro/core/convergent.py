@@ -23,8 +23,13 @@ import numpy as np
 from ..ir.regions import Region
 from ..machine.machine import Machine
 from ..schedulers.base import Scheduler
-from ..schedulers.list_scheduler import ListScheduler, feasible_clusters
+from ..schedulers.list_scheduler import (
+    ListScheduler,
+    SchedulingError,
+    feasible_clusters,
+)
 from ..schedulers.schedule import Schedule
+from .guard import PassGuard
 from .metrics import ConvergenceTrace
 from .passes import PassContext, SchedulingPass, make_pass
 from .sequences import sequence_for_machine
@@ -40,6 +45,14 @@ class ConvergentResult:
     priorities: Optional[Dict[int, int]]
     matrix: PreferenceMatrix
     trace: ConvergenceTrace
+    #: The guard that supervised the run; ``guard.events`` is empty on a
+    #: fault-free run, ``None`` when guarding was disabled.
+    guard: Optional[PassGuard] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pass was rolled back or quarantined."""
+        return self.guard is not None and bool(self.guard.events)
 
 
 class ConvergentScheduler(Scheduler):
@@ -63,6 +76,13 @@ class ConvergentScheduler(Scheduler):
             feature ("useful to provide feedback between phases and to
             avoid phase ordering problems"); INITTIME runs only in the
             first round, since feasibility never changes.
+        guard: Run every pass under a :class:`~repro.core.guard.PassGuard`
+            (checkpoint, rollback on exception or matrix corruption,
+            quarantine of repeat offenders).  On the happy path the
+            guard is behavior-neutral; disable it only to reproduce a
+            crash.
+        quarantine_after: Failures of one pass before it is quarantined
+            for the rest of the run.
     """
 
     name = "convergent"
@@ -75,6 +95,8 @@ class ConvergentScheduler(Scheduler):
         keep_snapshots: bool = False,
         check_invariants: bool = False,
         iterations: int = 1,
+        guard: bool = True,
+        quarantine_after: int = 2,
     ) -> None:
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
@@ -84,6 +106,8 @@ class ConvergentScheduler(Scheduler):
         self.keep_snapshots = keep_snapshots
         self.check_invariants = check_invariants
         self.iterations = iterations
+        self.guard = guard
+        self.quarantine_after = quarantine_after
         self.last_result: Optional[ConvergentResult] = None
 
     # ------------------------------------------------------------------
@@ -118,12 +142,23 @@ class ConvergentScheduler(Scheduler):
             ddg=ddg, machine=machine, matrix=matrix, rng=self._region_rng(region)
         )
         passes = self._build_passes(machine)
+        guard = PassGuard(quarantine_after=self.quarantine_after) if self.guard else None
         for round_index in range(self.iterations):
             for scheduling_pass in passes:
                 if round_index > 0 and scheduling_pass.name == "INITTIME":
                     continue  # feasibility never changes after round one
-                scheduling_pass.apply(ctx)
-                matrix.normalize()
+                if guard is not None:
+                    if guard.is_quarantined(scheduling_pass):
+                        continue
+                    event = guard.run(scheduling_pass, ctx, round_index)
+                    if event is not None:
+                        trace.observe_guard_event(event)
+                        if guard.events and guard.events[-1].kind == "quarantine":
+                            trace.observe_guard_event(guard.events[-1])
+                        continue  # matrix rolled back; nothing to observe
+                else:
+                    scheduling_pass.apply(ctx)
+                    matrix.normalize()
                 if self.check_invariants:
                     matrix.check_invariants()
                 trace.observe_pass(scheduling_pass.name, matrix)
@@ -146,6 +181,7 @@ class ConvergentScheduler(Scheduler):
             priorities=priorities,
             matrix=matrix,
             trace=trace,
+            guard=guard,
         )
         self.last_result = result
         return result
@@ -165,6 +201,13 @@ class ConvergentScheduler(Scheduler):
         assignment: Dict[int, int] = {}
         for inst in region.ddg:
             feasible = feasible_clusters(inst, machine)
+            if not feasible:
+                raise SchedulingError(
+                    f"no feasible cluster for instruction {inst.uid} "
+                    f"({inst.opcode.name}) in region {region.name!r} on "
+                    f"machine {machine.name!r}: no cluster can execute "
+                    f"func class {inst.func_class.name}"
+                )
             assignment[inst.uid] = max(
                 feasible, key=lambda c: (marginals[inst.uid][c], -c)
             )

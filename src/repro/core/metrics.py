@@ -10,9 +10,12 @@ preference-map frames.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from .weights import PreferenceMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .guard import GuardEvent
 
 
 @dataclass
@@ -45,6 +48,9 @@ class ConvergenceTrace:
 
     records: List[PassRecord] = field(default_factory=list)
     keep_snapshots: bool = False
+    #: Guard interventions (rollbacks, quarantines) in execution order;
+    #: empty on a fault-free run.
+    guard_events: List["GuardEvent"] = field(default_factory=list)
     _last_preferred: Optional[List[int]] = None
 
     def observe_initial(self, matrix: PreferenceMatrix) -> None:
@@ -74,6 +80,20 @@ class ConvergenceTrace:
         self.records.append(record)
         return record
 
+    def observe_guard_event(self, event: "GuardEvent") -> None:
+        """Record a guard intervention (rollback or quarantine).
+
+        Guard events live beside :attr:`records`, not inside them, so
+        the Figure 7/9 churn series is unaffected by failed passes —
+        a rolled-back pass by definition changed nothing.
+        """
+        self.guard_events.append(event)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any guard intervention happened during the run."""
+        return bool(self.guard_events)
+
     def spatial_records(self) -> List[PassRecord]:
         """Records for spatially active passes (the Figure 7/9 series)."""
         return [r for r in self.records if r.spatial_only and r.pass_name != "initial"]
@@ -89,4 +109,6 @@ class ConvergenceTrace:
         for r in records:
             bar = "#" * int(round(r.changed_fraction * 40))
             lines.append(f"  {r.pass_name:10s} {r.changed_fraction:6.2%} |{bar}")
+        for event in self.guard_events:
+            lines.append(f"  ! {event.describe()}")
         return "\n".join(lines)

@@ -59,8 +59,24 @@ def make_pass(spec: str) -> SchedulingPass:
             key, _, value = item.partition("=")
             if not value:
                 raise ValueError(f"malformed argument {item!r} in pass spec {spec!r}")
+            key = key.strip()
+            if not key.isidentifier():
+                raise ValueError(
+                    f"argument name {key!r} in pass spec {spec!r} is not a "
+                    "valid identifier"
+                )
+            if key in kwargs:
+                raise ValueError(
+                    f"duplicate argument {key!r} in pass spec {spec!r}"
+                )
             text = value.strip()
-            kwargs[key.strip()] = float(text) if "." in text else int(text)
+            try:
+                kwargs[key] = float(text) if "." in text else int(text)
+            except ValueError:
+                raise ValueError(
+                    f"argument {key!r} in pass spec {spec!r} has non-numeric "
+                    f"value {text!r}"
+                ) from None
     try:
         constructor = PASS_REGISTRY[name.strip().upper()]
     except KeyError:

@@ -97,6 +97,63 @@ class PreferenceMatrix:
         return out
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore / health (fault tolerance)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> np.ndarray:
+        """A cheap restore token: a flat copy of the raw weights.
+
+        Unlike :meth:`copy` no ``PreferenceMatrix`` object is built, so a
+        checkpoint costs one array copy — taken before every guarded pass.
+        """
+        return self._w.copy()
+
+    def restore(self, token: np.ndarray) -> None:
+        """Roll the weights back to a :meth:`checkpoint` token."""
+        if token.shape != self._w.shape:
+            raise ValueError(
+                f"checkpoint shape {token.shape} does not match matrix "
+                f"shape {self._w.shape}"
+            )
+        np.copyto(self._w, token)
+        self.touch()
+
+    def health(self, check_normalization: bool = False) -> Optional[str]:
+        """One-line description of the first health violation, or ``None``.
+
+        Checks, in order: NaN entries, infinite entries, negative
+        weights, and all-zero instruction rows (an instruction left with
+        no feasible slot at all).  With ``check_normalization`` the
+        per-instruction sum-to-one invariant is verified too — off by
+        default because passes legitimately denormalize between
+        :meth:`normalize` calls.
+
+        Unlike :meth:`check_invariants` this never raises; the pass
+        guard turns a non-``None`` report into a rollback.
+        """
+        if np.isnan(self._w).any():
+            bad = int(np.argwhere(np.isnan(self._w))[0][0])
+            return f"NaN weight in instruction {bad}'s row"
+        if np.isinf(self._w).any():
+            bad = int(np.argwhere(np.isinf(self._w))[0][0])
+            return f"infinite weight in instruction {bad}'s row"
+        if (self._w < 0.0).any():
+            bad = int(np.argwhere(self._w < 0.0)[0][0])
+            return f"negative weight in instruction {bad}'s row"
+        if self.n_instructions:
+            sums = self._w.sum(axis=(1, 2))
+            zero_rows = np.flatnonzero(sums <= 0.0)
+            if zero_rows.size:
+                return f"instruction {int(zero_rows[0])} has an all-zero row"
+            if check_normalization and not np.allclose(sums, 1.0, atol=1e-6):
+                worst = int(np.argmax(np.abs(sums - 1.0)))
+                return (
+                    f"instruction {worst} weights sum to {sums[worst]:.6f}, "
+                    "expected 1"
+                )
+        return None
+
+    # ------------------------------------------------------------------
     # Marginals and preferred slots
     # ------------------------------------------------------------------
 

@@ -1,0 +1,32 @@
+"""Fault injection for the convergent scheduling pipeline.
+
+Chaos-engineering support for the guarded pipeline
+(:mod:`repro.core.guard`): a small bestiary of deliberately misbehaving
+scheduling passes (:mod:`repro.faults.chaos`) and a deterministic,
+seeded campaign runner (:mod:`repro.faults.campaign`) that injects them
+into real pass sequences and proves every region still yields a
+simulator-validated schedule — by guard rollback, pass quarantine, or
+scheduler fallback, never by crashing.
+"""
+
+from .campaign import CampaignReport, InjectionOutcome, run_campaign
+from .chaos import (
+    FAULT_REGISTRY,
+    NaNInjector,
+    RaisingPass,
+    WeightCorruptor,
+    ZeroRowPass,
+    make_fault,
+)
+
+__all__ = [
+    "CampaignReport",
+    "FAULT_REGISTRY",
+    "InjectionOutcome",
+    "NaNInjector",
+    "RaisingPass",
+    "WeightCorruptor",
+    "ZeroRowPass",
+    "make_fault",
+    "run_campaign",
+]

@@ -1,0 +1,201 @@
+"""Deterministic fault-injection campaigns.
+
+A campaign repeatedly takes a real benchmark region, splices one chaos
+pass (:mod:`repro.faults.chaos`) into the machine's published pass
+sequence at a random position, and schedules the region through the
+full defense stack:
+
+1. the **pass guard** (checkpoint/rollback/quarantine) inside
+   :class:`~repro.core.convergent.ConvergentScheduler`;
+2. the **fallback chain** (convergent → list → single-cluster) of
+   :class:`~repro.schedulers.fallback.FallbackChain`;
+3. the **hardened harness** (:func:`repro.harness.run_region` with
+   ``capture_errors=True``), which can only ever report — never raise.
+
+A fraction of trials deliberately runs with the guard disabled so the
+fallback chain's line of defense is exercised too.  Everything is drawn
+from one seeded generator: same seed, same campaign, same report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.convergent import ConvergentScheduler
+from ..core.sequences import sequence_for_machine
+from ..harness.experiment import RegionResult, run_region
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from ..schedulers.fallback import FallbackChain
+from ..schedulers.single import SingleClusterScheduler
+from ..schedulers.uas import UnifiedAssignAndSchedule
+from .chaos import FAULT_REGISTRY, make_fault
+
+#: How a trial survived its injected fault.
+DEFENSE_ROLLBACK = "rollback"  # pass guard rolled the matrix back
+DEFENSE_FALLBACK = "fallback"  # a lower chain level produced the schedule
+DEFENSE_ABSORBED = "absorbed"  # fault caused no observable failure
+DEFENSE_NONE = "crash"  # nothing saved it (campaign failure)
+
+
+@dataclass
+class InjectionOutcome:
+    """One fault-injection trial."""
+
+    trial: int
+    region_name: str
+    fault_kind: str
+    position: int
+    guarded: bool
+    defense: str
+    fallback_level: int
+    guard_events: int
+    quarantined: List[str]
+    result: RegionResult
+
+    @property
+    def validated(self) -> bool:
+        """True when the trial ended with a simulator-verified schedule."""
+        return self.result.ok
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate of a full fault-injection campaign."""
+
+    machine_name: str
+    seed: int
+    outcomes: List[InjectionOutcome] = field(default_factory=list)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def crashes(self) -> List[InjectionOutcome]:
+        """Trials that failed to produce a verified schedule."""
+        return [o for o in self.outcomes if not o.validated]
+
+    @property
+    def ok(self) -> bool:
+        """True when every trial survived its fault."""
+        return not self.crashes
+
+    def count(self, defense: str) -> int:
+        """Number of trials resolved by ``defense``."""
+        return sum(1 for o in self.outcomes if o.defense == defense)
+
+    @property
+    def total_guard_events(self) -> int:
+        """Guard interventions (rollbacks + quarantines) across trials."""
+        return sum(o.guard_events for o in self.outcomes)
+
+    def render(self) -> str:
+        """Plain-text campaign summary."""
+        lines = [
+            f"fault-injection campaign on {self.machine_name} "
+            f"(seed {self.seed}): {self.n_trials} trials",
+            f"  survived:            {self.n_trials - len(self.crashes)}"
+            f"/{self.n_trials}",
+            f"  guard rollbacks:     {self.count(DEFENSE_ROLLBACK)}",
+            f"  chain fallbacks:     {self.count(DEFENSE_FALLBACK)}",
+            f"  absorbed harmlessly: {self.count(DEFENSE_ABSORBED)}",
+            f"  crashes:             {len(self.crashes)}",
+        ]
+        for outcome in self.crashes[:5]:
+            lines.append(
+                f"  CRASH trial {outcome.trial} "
+                f"({outcome.fault_kind} in {outcome.region_name}): "
+                f"{outcome.result.error}"
+            )
+        return "\n".join(lines)
+
+
+def run_campaign(
+    machine: Machine,
+    regions: Sequence[Region],
+    n_trials: int = 100,
+    seed: int = 0,
+    guarded_fraction: float = 0.75,
+    fault_kinds: Optional[Sequence[str]] = None,
+    check_values: bool = False,
+) -> CampaignReport:
+    """Inject ``n_trials`` faults and report how each was survived.
+
+    Args:
+        machine: Target machine; also selects the base pass sequence.
+        regions: Pool of scheduling regions faults are injected into.
+        n_trials: Number of injections (one chaos pass each).
+        seed: Seeds every random choice — region, fault kind, insertion
+            position, guard on/off — so campaigns replay exactly.
+        guarded_fraction: Fraction of trials with the pass guard on; the
+            rest run unguarded so the fallback chain is exercised.
+        fault_kinds: Subset of :data:`~repro.faults.chaos.FAULT_REGISTRY`
+            keys; default all.
+        check_values: Full dataflow replay during validation (slower).
+    """
+    if not regions:
+        raise ValueError("campaign needs at least one region")
+    kinds = list(fault_kinds) if fault_kinds else sorted(FAULT_REGISTRY)
+    rng = np.random.default_rng(seed)
+    try:
+        base_sequence = list(sequence_for_machine(machine.name))
+    except KeyError:
+        from ..core.sequences import GENERIC_SEQUENCE
+
+        base_sequence = list(GENERIC_SEQUENCE)
+
+    report = CampaignReport(machine_name=machine.name, seed=seed)
+    for trial in range(n_trials):
+        region = regions[int(rng.integers(0, len(regions)))]
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        position = int(rng.integers(0, len(base_sequence) + 1))
+        guarded = bool(rng.random() < guarded_fraction)
+
+        passes: list = list(base_sequence)
+        passes.insert(position, make_fault(kind))
+        convergent = ConvergentScheduler(
+            passes=passes, seed=seed + trial, guard=guarded
+        )
+        chain = FallbackChain(
+            [convergent, UnifiedAssignAndSchedule(), SingleClusterScheduler()],
+            check_values=check_values,
+        )
+        result = run_region(
+            region, machine, chain, check_values=check_values, capture_errors=True
+        )
+
+        trace = convergent.last_result.trace if convergent.last_result else None
+        n_guard_events = len(trace.guard_events) if trace else 0
+        quarantined = (
+            convergent.last_result.guard.quarantined
+            if convergent.last_result and convergent.last_result.guard
+            else []
+        )
+        level = chain.last_level or 0
+        if not result.ok:
+            defense = DEFENSE_NONE
+        elif level > 0:
+            defense = DEFENSE_FALLBACK
+        elif n_guard_events > 0:
+            defense = DEFENSE_ROLLBACK
+        else:
+            defense = DEFENSE_ABSORBED
+        report.outcomes.append(
+            InjectionOutcome(
+                trial=trial,
+                region_name=region.name,
+                fault_kind=kind,
+                position=position,
+                guarded=guarded,
+                defense=defense,
+                fallback_level=level,
+                guard_events=n_guard_events,
+                quarantined=list(quarantined),
+                result=result,
+            )
+        )
+    return report

@@ -1,9 +1,23 @@
 """Experiment harness: speedups, convergence traces, compile-time scaling."""
 
 from .convergence import ConvergenceStudy, convergence_study
-from .experiment import ProgramResult, RegionResult, run_program, run_region
+from .experiment import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_PARTIAL,
+    ProgramResult,
+    RegionResult,
+    run_program,
+    run_region,
+)
 from .results import load_result, save_result
-from .reporting import arithmetic_mean, format_bar_chart, format_table, geometric_mean
+from .reporting import (
+    arithmetic_mean,
+    format_bar_chart,
+    format_degradations,
+    format_table,
+    geometric_mean,
+)
 from .scaling import ScalingResult, compile_time_scaling
 from .speedup import SpeedupTable, raw_speedups, vliw_speedups
 
@@ -11,12 +25,16 @@ __all__ = [
     "ConvergenceStudy",
     "ProgramResult",
     "RegionResult",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_PARTIAL",
     "ScalingResult",
     "SpeedupTable",
     "arithmetic_mean",
     "compile_time_scaling",
     "convergence_study",
     "format_bar_chart",
+    "format_degradations",
     "format_table",
     "geometric_mean",
     "load_result",

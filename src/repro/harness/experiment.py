@@ -2,31 +2,57 @@
 
 One rule governs every number this repository reports: the cycle count
 comes from :func:`repro.sim.simulate`, never from the scheduler itself.
-A result whose schedule fails validation raises, so every table in
-EXPERIMENTS.md is backed by a verified schedule.
+A region whose schedule fails validation either raises (the default for
+:func:`run_region`) or is captured into the result object with
+``status="failed"`` — so every *cycle count* in EXPERIMENTS.md is backed
+by a verified schedule, while a whole-program run degrades gracefully
+instead of aborting on its first bad region.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..ir.regions import Program, Region
 from ..machine.machine import Machine
 from ..schedulers.base import Scheduler
 from ..sim.simulator import SimulationReport, simulate
 
+#: Region/program completed with a verified schedule.
+STATUS_OK = "ok"
+#: Region failed (scheduler raised or validation rejected the schedule);
+#: program-level: *every* region failed.
+STATUS_FAILED = "failed"
+#: Program-level only: some regions succeeded, some failed.
+STATUS_PARTIAL = "partial"
+
 
 @dataclass
 class RegionResult:
-    """Outcome for one region."""
+    """Outcome for one region.
+
+    Attributes:
+        status: :data:`STATUS_OK` or :data:`STATUS_FAILED`.
+        error: Failure description when ``status`` is not ok.
+        n_instructions: Instruction count of the region's DDG (0 when
+            the region failed before its graph was inspected).
+    """
 
     region_name: str
     cycles: int
     transfers: int
     utilization: float
     compile_seconds: float
+    n_instructions: int = 0
+    status: str = STATUS_OK
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the region produced a verified schedule."""
+        return self.status == STATUS_OK
 
 
 @dataclass
@@ -34,8 +60,12 @@ class ProgramResult:
     """Outcome for one (program, machine, scheduler) combination.
 
     Attributes:
-        cycles: Trip-count-weighted total cycles over all regions.
+        cycles: Trip-count-weighted total cycles over all *succeeded*
+            regions.
         compile_seconds: Total scheduling time (the Figure-10 metric).
+        status: :data:`STATUS_OK`, :data:`STATUS_PARTIAL`, or
+            :data:`STATUS_FAILED`.
+        error: Summary of region failures when ``status`` is not ok.
     """
 
     benchmark: str
@@ -45,10 +75,28 @@ class ProgramResult:
     transfers: int
     compile_seconds: float
     regions: List[RegionResult]
+    status: str = STATUS_OK
+    error: Optional[str] = None
 
     @property
     def instructions(self) -> int:
-        return sum(1 for _ in self.regions)
+        """Total instruction count across all regions."""
+        return sum(r.n_instructions for r in self.regions)
+
+    @property
+    def n_regions(self) -> int:
+        """Number of regions in the program."""
+        return len(self.regions)
+
+    @property
+    def ok(self) -> bool:
+        """True when every region produced a verified schedule."""
+        return self.status == STATUS_OK
+
+    @property
+    def failed_regions(self) -> List[RegionResult]:
+        """The regions that did not produce a verified schedule."""
+        return [r for r in self.regions if not r.ok]
 
 
 def run_region(
@@ -56,20 +104,41 @@ def run_region(
     machine: Machine,
     scheduler: Scheduler,
     check_values: bool = True,
+    capture_errors: bool = False,
 ) -> RegionResult:
-    """Schedule one region, validate it, and report verified cycles."""
+    """Schedule one region, validate it, and report verified cycles.
+
+    Args:
+        capture_errors: Return a ``status="failed"`` result instead of
+            raising when the scheduler or the validator fails.
+    """
     started = time.perf_counter()
-    schedule = scheduler.schedule(region, machine)
-    elapsed = time.perf_counter() - started
-    report: SimulationReport = simulate(
-        region, machine, schedule, strict=True, check_values=check_values
-    )
+    try:
+        schedule = scheduler.schedule(region, machine)
+        elapsed = time.perf_counter() - started
+        report: SimulationReport = simulate(
+            region, machine, schedule, strict=True, check_values=check_values
+        )
+    except Exception as exc:  # noqa: BLE001 - harness boundary
+        if not capture_errors:
+            raise
+        return RegionResult(
+            region_name=region.name,
+            cycles=0,
+            transfers=0,
+            utilization=0.0,
+            compile_seconds=time.perf_counter() - started,
+            n_instructions=len(region.ddg),
+            status=STATUS_FAILED,
+            error=f"{type(exc).__name__}: {exc}",
+        )
     return RegionResult(
         region_name=region.name,
         cycles=report.cycles,
         transfers=report.transfers,
         utilization=report.utilization(machine),
         compile_seconds=elapsed,
+        n_instructions=len(region.ddg),
     )
 
 
@@ -78,18 +147,39 @@ def run_program(
     machine: Machine,
     scheduler: Scheduler,
     check_values: bool = True,
+    capture_errors: bool = True,
 ) -> ProgramResult:
-    """Schedule every region of ``program``; weight cycles by trip count."""
+    """Schedule every region of ``program``; weight cycles by trip count.
+
+    Per-region failures are captured into the result (``status`` /
+    ``error`` on each :class:`RegionResult`, ``status="partial"`` or
+    ``"failed"`` on the program) instead of aborting the whole program;
+    pass ``capture_errors=False`` to restore fail-fast behavior.
+    """
     region_results: List[RegionResult] = []
     total_cycles = 0
     total_transfers = 0
     total_seconds = 0.0
     for region in program.regions:
-        result = run_region(region, machine, scheduler, check_values=check_values)
+        result = run_region(
+            region,
+            machine,
+            scheduler,
+            check_values=check_values,
+            capture_errors=capture_errors,
+        )
         region_results.append(result)
         total_cycles += result.cycles * region.trip_count
         total_transfers += result.transfers * region.trip_count
         total_seconds += result.compile_seconds
+    failed = [r for r in region_results if not r.ok]
+    if not failed:
+        status, error = STATUS_OK, None
+    else:
+        status = STATUS_FAILED if len(failed) == len(region_results) else STATUS_PARTIAL
+        error = "; ".join(
+            f"{r.region_name}: {r.error}" for r in failed[:3]
+        ) + ("" if len(failed) <= 3 else f"; +{len(failed) - 3} more")
     return ProgramResult(
         benchmark=program.name,
         machine_name=machine.name,
@@ -98,4 +188,6 @@ def run_program(
         transfers=total_transfers,
         compile_seconds=total_seconds,
         regions=region_results,
+        status=status,
+        error=error,
     )

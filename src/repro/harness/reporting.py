@@ -62,6 +62,29 @@ def format_bar_chart(
     return "\n".join(lines)
 
 
+def format_degradations(result) -> str:
+    """Failure/degradation summary of a :class:`ProgramResult`.
+
+    Empty string when every region produced a verified schedule, so
+    callers can unconditionally print the return value.
+    """
+    if getattr(result, "ok", True):
+        return ""
+    lines = [
+        f"WARNING: {result.benchmark} on {result.machine_name} "
+        f"({result.scheduler_name}) completed with status "
+        f"{result.status!r}:"
+    ]
+    for region in result.failed_regions:
+        lines.append(f"  region {region.region_name}: {region.error}")
+    ok_regions = result.n_regions - len(result.failed_regions)
+    lines.append(
+        f"  {ok_regions}/{result.n_regions} regions have verified schedules; "
+        "cycle totals cover those regions only"
+    )
+    return "\n".join(lines)
+
+
 def geometric_mean(values: Sequence[float]) -> float:
     """Geometric mean; 0 for an empty sequence."""
     if not values:

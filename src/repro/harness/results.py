@@ -13,10 +13,73 @@ from pathlib import Path
 from typing import Dict, Union
 
 from .convergence import ConvergenceStudy
+from .experiment import ProgramResult, RegionResult
 from .scaling import ScalingResult
 from .speedup import SpeedupTable
 
 PathLike = Union[str, Path]
+
+
+def program_result_to_dict(result: ProgramResult) -> Dict:
+    """JSON-safe representation of a :class:`ProgramResult`.
+
+    Captures the fault-tolerance fields (``status``/``error``) so a
+    partially degraded run round-trips faithfully.
+    """
+    return {
+        "kind": "program_result",
+        "benchmark": result.benchmark,
+        "machine": result.machine_name,
+        "scheduler": result.scheduler_name,
+        "cycles": result.cycles,
+        "transfers": result.transfers,
+        "compile_seconds": result.compile_seconds,
+        "status": result.status,
+        "error": result.error,
+        "regions": [
+            {
+                "name": r.region_name,
+                "cycles": r.cycles,
+                "transfers": r.transfers,
+                "utilization": r.utilization,
+                "compile_seconds": r.compile_seconds,
+                "n_instructions": r.n_instructions,
+                "status": r.status,
+                "error": r.error,
+            }
+            for r in result.regions
+        ],
+    }
+
+
+def program_result_from_dict(data: Dict) -> ProgramResult:
+    """Inverse of :func:`program_result_to_dict`."""
+    if data.get("kind") != "program_result":
+        raise ValueError("not a serialized program result")
+    regions = [
+        RegionResult(
+            region_name=r["name"],
+            cycles=int(r["cycles"]),
+            transfers=int(r["transfers"]),
+            utilization=float(r["utilization"]),
+            compile_seconds=float(r["compile_seconds"]),
+            n_instructions=int(r.get("n_instructions", 0)),
+            status=r.get("status", "ok"),
+            error=r.get("error"),
+        )
+        for r in data["regions"]
+    ]
+    return ProgramResult(
+        benchmark=data["benchmark"],
+        machine_name=data["machine"],
+        scheduler_name=data["scheduler"],
+        cycles=int(data["cycles"]),
+        transfers=int(data["transfers"]),
+        compile_seconds=float(data["compile_seconds"]),
+        regions=regions,
+        status=data.get("status", "ok"),
+        error=data.get("error"),
+    )
 
 
 def speedup_table_to_dict(table: SpeedupTable) -> Dict:
@@ -99,12 +162,14 @@ _SERIALIZERS = {
     SpeedupTable: speedup_table_to_dict,
     ConvergenceStudy: convergence_study_to_dict,
     ScalingResult: scaling_result_to_dict,
+    ProgramResult: program_result_to_dict,
 }
 
 _DESERIALIZERS = {
     "speedup_table": speedup_table_from_dict,
     "convergence_study": convergence_study_from_dict,
     "scaling_result": scaling_result_from_dict,
+    "program_result": program_result_from_dict,
 }
 
 

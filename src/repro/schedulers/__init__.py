@@ -12,6 +12,7 @@
 from .base import Scheduler
 from .anneal import SimulatedAnnealingScheduler
 from .cars import CarsScheduler
+from .fallback import FallbackAttempt, FallbackChain, FallbackReport
 from .list_scheduler import (
     ListScheduler,
     SchedulingError,
@@ -28,6 +29,9 @@ from .uas import UnifiedAssignAndSchedule
 __all__ = [
     "CarsScheduler",
     "CommEvent",
+    "FallbackAttempt",
+    "FallbackChain",
+    "FallbackReport",
     "ListScheduler",
     "PartialComponentClustering",
     "RawccScheduler",

@@ -179,6 +179,77 @@ class TestOperations:
         assert clone.data[0, 1, 0] == pytest.approx(1.0 / 20)
 
 
+class TestEdgeCases:
+    """Boundary shapes and parameter extremes."""
+
+    def test_single_instruction_region(self):
+        g = DataDependenceGraph()
+        g.new_instruction(Opcode.LOAD)
+        m = PreferenceMatrix.for_region(g, n_clusters=3)
+        assert m.n_instructions == 1
+        assert m.preferred_clusters() == [m.preferred_cluster(0)]
+        assert m.preferred_times() == [m.preferred_time(0)]
+        m.scale(0, 4.0, cluster=2)
+        m.normalize()
+        m.check_invariants()
+        assert m.preferred_cluster(0) == 2
+        assert m.health() is None
+
+    def test_zero_instruction_matrix(self):
+        m = PreferenceMatrix(0, 2, 3)
+        assert m.preferred_clusters() == []
+        assert m.preferred_times() == []
+        m.normalize()
+        m.check_invariants()
+        assert m.health() is None
+
+    def test_blend_keep_one_is_identity(self, matrix):
+        matrix.scale(0, 5.0, cluster=1)
+        matrix.scale(1, 5.0, cluster=3)
+        matrix.normalize()
+        before = matrix.data[0].copy()
+        matrix.blend(0, 1, keep=1.0)
+        assert np.allclose(matrix.data[0], before)
+
+    def test_blend_keep_zero_copies_source(self, matrix):
+        matrix.scale(0, 5.0, cluster=1)
+        matrix.scale(1, 5.0, cluster=3)
+        matrix.normalize()
+        matrix.blend(0, 1, keep=0.0)
+        assert np.allclose(matrix.data[0], matrix.data[1])
+
+    def test_blend_space_keep_one_is_identity(self, matrix):
+        matrix.scale(0, 5.0, cluster=1)
+        matrix.scale(1, 5.0, cluster=3)
+        matrix.normalize()
+        before = matrix.data[0].copy()
+        matrix.blend_space(0, 1, keep=1.0)
+        assert np.allclose(matrix.data[0], before)
+
+    def test_blend_space_keep_zero_adopts_source_marginals(self, matrix):
+        matrix.scale(0, 5.0, cluster=1)
+        matrix.scale(1, 5.0, cluster=3)
+        matrix.normalize()
+        matrix.blend_space(0, 1, keep=0.0)
+        assert np.allclose(
+            matrix.cluster_marginals()[0], matrix.cluster_marginals()[1]
+        )
+
+    def test_check_invariants_catches_hand_corruption(self, matrix):
+        matrix.data[2, 1, 3] = 7.5  # > 1 and breaks the row sum
+        matrix.touch()
+        with pytest.raises(ValueError):
+            matrix.check_invariants()
+        matrix.normalize()
+        matrix.check_invariants()
+
+    def test_check_invariants_catches_nan_row(self, matrix):
+        matrix.data[0, 0, 0] = np.nan
+        matrix.touch()
+        with pytest.raises(ValueError):
+            matrix.check_invariants()
+
+
 class TestMarginalCaching:
     def test_marginals_memoized_until_touch(self, matrix):
         first = matrix.cluster_marginals()
