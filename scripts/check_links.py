@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Markdown link audit: fail on broken intra-repo links.
+
+Scans every tracked ``*.md`` file for inline links and flags those
+whose target is a relative path that does not exist.  External links
+(``http://``, ``https://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped; a relative link's ``#fragment`` suffix is
+stripped before the existence check (fragments are not validated).
+
+Exit status 0 when clean, 1 with a per-link report otherwise.
+Run from the repository root::
+
+    python scripts/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Inline markdown links: ``[text](target)``.  Images share the syntax
+#: (``![alt](target)``) and are matched by the same pattern.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Schemes that point outside the repository and are not checked.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Directories never scanned for markdown files.
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+
+#: Generated files whose links we do not control (PAPERS.md is a
+#: machine-converted related-work dump with dangling figure refs).
+SKIP_FILES = {"PAPERS.md"}
+
+
+def iter_markdown_files(root: Path) -> Iterator[Path]:
+    """Yield every ``*.md`` file under ``root``, skipping junk dirs."""
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        if path.name in SKIP_FILES:
+            continue
+        yield path
+
+
+def iter_links(path: Path) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for each inline link in a file.
+
+    Args:
+        path: The markdown file to scan.
+
+    Yields:
+        One tuple per ``[text](target)`` occurrence, in file order.
+    """
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, root: Path, problems: List[str]) -> int:
+    """Validate one file's relative links; append failures to problems.
+
+    Args:
+        path: The markdown file to check.
+        root: Repository root (used for readable report paths).
+        problems: Accumulator for ``file:line: target`` failure lines.
+
+    Returns:
+        The number of intra-repo links inspected.
+    """
+    checked = 0
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        checked += 1
+        if not resolved.exists():
+            rel = path.relative_to(root)
+            problems.append(f"{rel}:{lineno}: broken link -> {target}")
+    return checked
+
+
+def main() -> int:
+    """Entry point; returns the process exit code."""
+    root = Path(__file__).resolve().parent.parent
+    problems: List[str] = []
+    n_files = 0
+    n_links = 0
+    for path in iter_markdown_files(root):
+        n_files += 1
+        n_links += check_file(path, root, problems)
+    if problems:
+        print(f"link audit FAILED ({len(problems)} broken link(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"link audit ok: {n_links} intra-repo links in {n_files} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,9 @@
 * ``schedule`` — schedule one benchmark, validate it, print the result;
 * ``table2`` / ``fig6`` / ``fig8`` / ``fig10`` / ``convergence`` —
   regenerate the paper's tables and figures;
+* ``trace`` — dump/inspect one region's convergence trace: per-pass
+  wall time, weight churn, entropy, confidence (JSONL + table);
+* ``profile`` — compile-time breakdown across pipeline phases;
 * ``search`` — hill-climb a pass sequence for a machine on a training
   set;
 * ``faults`` — seeded fault-injection campaign demonstrating the
@@ -26,12 +29,20 @@ from .harness import (
     compile_time_scaling,
     convergence_study,
     format_degradations,
+    format_metrics,
     raw_speedups,
     run_program,
     save_result,
     vliw_speedups,
 )
 from .machine import ClusteredVLIW, Machine, RawMachine, raw_with_tiles
+from .observability import (
+    MetricsRegistry,
+    Tracer,
+    render_profile,
+    render_trace,
+    tracing,
+)
 from .schedulers import (
     CarsScheduler,
     FallbackChain,
@@ -176,6 +187,76 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one region's convergence and print the per-pass table."""
+    machine = parse_machine(args.machine)
+    program = build_benchmark(args.benchmark, machine)
+    if not 0 <= args.region < len(program.regions):
+        print(
+            f"error: region index {args.region} out of range; "
+            f"{args.benchmark} has {len(program.regions)} region(s)",
+            file=sys.stderr,
+        )
+        return 2
+    region = program.regions[args.region]
+    tracer = Tracer()
+    scheduler = ConvergentScheduler(seed=args.seed, tracer=tracer)
+    result = scheduler.converge(region, machine)
+    report = simulate(region, machine, result.schedule, check_values=False)
+    title = (
+        f"convergence trace: {args.benchmark}/{region.name} on {machine.name} "
+        f"({len(region.ddg)} instructions)"
+    )
+    print(render_trace(tracer.records, title=title))
+    print(
+        f"\nfinal schedule: {report.cycles} cycles, {report.transfers} transfers"
+        + (f"  [degraded: {len(result.guard.events)} guard events]"
+           if result.degraded else "")
+    )
+    if args.out:
+        tracer.write(args.out)
+        print(f"trace written to {args.out} ({len(tracer.records)} JSONL records)")
+    elif args.jsonl:
+        print()
+        print(tracer.to_jsonl())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the full pipeline: where does compile time go?"""
+    machine = parse_machine(args.machine)
+    program = build_benchmark(args.benchmark, machine)
+    scheduler = ConvergentScheduler(seed=args.seed)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with tracing(tracer):
+        for _ in range(args.repeat):
+            result = run_program(
+                program,
+                machine,
+                scheduler,
+                check_values=not args.fast,
+                registry=registry,
+            )
+    title = (
+        f"compile-time profile: {args.benchmark} on {machine.name} "
+        f"({result.instructions} instructions, {result.n_regions} region(s), "
+        f"x{args.repeat})"
+    )
+    print(render_profile(tracer.records, title=title))
+    summary = format_metrics(registry.snapshot(), title="\nrun metrics")
+    if summary:
+        print(summary)
+    if args.out:
+        tracer.write(args.out)
+        print(f"profile trace written to {args.out}")
+    warning = format_degradations(result)
+    if warning:
+        print(warning)
+        return 1
+    return 0
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     machine = parse_machine(args.machine)
     names = _split(args.benchmarks) or ["vvmul", "yuv"]
@@ -261,6 +342,28 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument("--sizes", help="tile counts for table2")
     run_all.add_argument("--scaling-sizes", help="graph sizes for fig10")
 
+    trace = sub.add_parser(
+        "trace", help="per-pass convergence trace (churn/entropy/confidence/time)"
+    )
+    trace.add_argument("benchmark", choices=sorted(KERNELS))
+    trace.add_argument("--machine", default="vliw4")
+    trace.add_argument("--region", type=int, default=0, help="region index")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", help="write the JSONL trace to this path")
+    trace.add_argument(
+        "--jsonl", action="store_true", help="also dump raw JSONL to stdout"
+    )
+
+    profile = sub.add_parser(
+        "profile", help="compile-time breakdown across pipeline phases"
+    )
+    profile.add_argument("benchmark", choices=sorted(KERNELS))
+    profile.add_argument("--machine", default="vliw4")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--repeat", type=int, default=1, help="profiling repetitions")
+    profile.add_argument("--fast", action="store_true", help="skip dataflow replay")
+    profile.add_argument("--out", help="write the JSONL trace to this path")
+
     faults = sub.add_parser("faults", help="seeded fault-injection campaign")
     faults.add_argument("--machine", default="vliw4")
     faults.add_argument("--benchmarks", help="comma-separated subset")
@@ -291,7 +394,9 @@ _COMMANDS = {
     "fig10": _cmd_fig10,
     "convergence": _cmd_convergence,
     "faults": _cmd_faults,
+    "profile": _cmd_profile,
     "search": _cmd_search,
+    "trace": _cmd_trace,
 }
 
 

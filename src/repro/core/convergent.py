@@ -22,6 +22,8 @@ import numpy as np
 
 from ..ir.regions import Region
 from ..machine.machine import Machine
+from ..observability.metrics import matrix_delta
+from ..observability.tracer import NullTracer, Tracer, active as active_tracer
 from ..schedulers.base import Scheduler
 from ..schedulers.list_scheduler import (
     ListScheduler,
@@ -83,6 +85,13 @@ class ConvergentScheduler(Scheduler):
             crash.
         quarantine_after: Failures of one pass before it is quarantined
             for the rest of the run.
+        tracer: A :class:`~repro.observability.tracer.Tracer` receiving
+            per-pass spans with matrix-delta metrics (L1 churn, flips,
+            entropy, confidence) plus list-scheduling and extraction
+            spans.  ``None`` (the default) uses the ambient tracer from
+            :func:`repro.observability.tracer.install`, which is the
+            no-op null tracer unless one was installed — tracing off
+            is behavior- and speed-neutral.
     """
 
     name = "convergent"
@@ -97,6 +106,7 @@ class ConvergentScheduler(Scheduler):
         iterations: int = 1,
         guard: bool = True,
         quarantine_after: int = 2,
+        tracer: Optional[Union[Tracer, NullTracer]] = None,
     ) -> None:
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
@@ -108,6 +118,7 @@ class ConvergentScheduler(Scheduler):
         self.iterations = iterations
         self.guard = guard
         self.quarantine_after = quarantine_after
+        self.tracer = tracer
         self.last_result: Optional[ConvergentResult] = None
 
     # ------------------------------------------------------------------
@@ -131,9 +142,33 @@ class ConvergentScheduler(Scheduler):
     def converge(self, region: Region, machine: Machine) -> ConvergentResult:
         """Run the pass sequence and the final list scheduling step.
 
-        Returns the full :class:`ConvergentResult`, including the
-        converged matrix and the per-pass convergence trace.
+        When a tracer is attached (or ambient), each pass additionally
+        emits a ``pass:<NAME>`` span carrying wall time and
+        matrix-delta metrics, and guard interventions emit ``guard``
+        events; with the default null tracer none of that is computed.
+
+        Args:
+            region: The scheduling region to compile.
+            machine: The target machine model.
+
+        Returns:
+            The full :class:`ConvergentResult`, including the converged
+            matrix and the per-pass convergence trace.
         """
+        tracer = self.tracer if self.tracer is not None else active_tracer()
+        with tracer.span(
+            "converge",
+            region=region.name,
+            machine=machine.name,
+            n_instructions=len(region.ddg),
+            n_clusters=machine.n_clusters,
+        ):
+            return self._converge_traced(region, machine, tracer)
+
+    def _converge_traced(
+        self, region: Region, machine: Machine, tracer: Union[Tracer, NullTracer]
+    ) -> ConvergentResult:
+        """The body of :meth:`converge`, run inside its tracer span."""
         ddg = region.ddg
         matrix = PreferenceMatrix.for_region(ddg, machine.n_clusters)
         trace = ConvergenceTrace(keep_snapshots=self.keep_snapshots)
@@ -147,23 +182,60 @@ class ConvergentScheduler(Scheduler):
             for scheduling_pass in passes:
                 if round_index > 0 and scheduling_pass.name == "INITTIME":
                     continue  # feasibility never changes after round one
-                if guard is not None:
-                    if guard.is_quarantined(scheduling_pass):
-                        continue
-                    event = guard.run(scheduling_pass, ctx, round_index)
-                    if event is not None:
-                        trace.observe_guard_event(event)
-                        if guard.events and guard.events[-1].kind == "quarantine":
-                            trace.observe_guard_event(guard.events[-1])
-                        continue  # matrix rolled back; nothing to observe
-                else:
-                    scheduling_pass.apply(ctx)
-                    matrix.normalize()
+                if guard is not None and guard.is_quarantined(scheduling_pass):
+                    continue
+                if tracer.enabled:
+                    before_weights = matrix.checkpoint()
+                    before_preferred = matrix.preferred_clusters()
+                event = None
+                with tracer.span(
+                    f"pass:{scheduling_pass.name}", round=round_index
+                ) as span:
+                    if guard is not None:
+                        event = guard.run(scheduling_pass, ctx, round_index)
+                    else:
+                        scheduling_pass.apply(ctx)
+                        matrix.normalize()
+                if event is not None:
+                    if tracer.enabled:
+                        span.fields["rolled_back"] = True
+                    trace.observe_guard_event(event)
+                    tracer.event(
+                        "guard",
+                        pass_name=event.pass_name,
+                        round=event.round_index,
+                        guard_kind=event.kind,
+                        detail=event.detail,
+                        recovered=event.recovered,
+                    )
+                    last = guard.events[-1]
+                    if last.kind == "quarantine":
+                        trace.observe_guard_event(last)
+                        tracer.event(
+                            "guard",
+                            pass_name=last.pass_name,
+                            round=last.round_index,
+                            guard_kind=last.kind,
+                            detail=last.detail,
+                            recovered=last.recovered,
+                        )
+                    continue  # matrix rolled back; nothing to observe
                 if self.check_invariants:
                     matrix.check_invariants()
-                trace.observe_pass(scheduling_pass.name, matrix)
+                record = trace.observe_pass(scheduling_pass.name, matrix)
+                if tracer.enabled:
+                    delta = matrix_delta(before_weights, before_preferred, matrix)
+                    record.wall_seconds = span.duration_s or 0.0
+                    record.l1_churn = delta["l1_churn"]
+                    record.flips = int(delta["flips"])
+                    record.mean_entropy = delta["mean_entropy"]
+                    record.mean_confidence = delta["mean_confidence"]
+                    span.fields.update(
+                        changed_fraction=record.changed_fraction, **delta
+                    )
 
-        assignment = self.extract_assignment(matrix, region, machine)
+        with tracer.span("extract_assignment", region=region.name):
+            assignment = self.extract_assignment(matrix, region, machine)
         prefer_times = self.use_preferred_times
         if prefer_times is None:
             prefer_times = machine.name.startswith("vliw")
@@ -172,9 +244,10 @@ class ConvergentScheduler(Scheduler):
             priorities = {i: t for i, t in enumerate(matrix.preferred_times())}
 
         scheduler = ListScheduler(name=self.name)
-        schedule = scheduler.schedule(
-            region, machine, assignment=assignment, priorities=priorities
-        )
+        with tracer.span("list_schedule", region=region.name):
+            schedule = scheduler.schedule(
+                region, machine, assignment=assignment, priorities=priorities
+            )
         result = ConvergentResult(
             schedule=schedule,
             assignment=assignment,
@@ -196,6 +269,14 @@ class ConvergentScheduler(Scheduler):
         (INITTIME squashes infeasible clusters, PLACE boosts homes by
         x100), but extraction re-checks them so a mis-tuned pass
         sequence can degrade performance, never correctness.
+
+        Args:
+            matrix: The converged preference matrix.
+            region: The region the matrix was built for.
+            machine: The target machine (supplies feasibility).
+
+        Returns:
+            Mapping from instruction uid to its assigned cluster index.
         """
         marginals = matrix.cluster_marginals()
         assignment: Dict[int, int] = {}
@@ -216,5 +297,14 @@ class ConvergentScheduler(Scheduler):
     # ------------------------------------------------------------------
 
     def schedule(self, region: Region, machine: Machine) -> Schedule:
-        """The plain :class:`~repro.schedulers.base.Scheduler` interface."""
+        """The plain :class:`~repro.schedulers.base.Scheduler` interface.
+
+        Args:
+            region: The scheduling region to compile.
+            machine: The target machine model.
+
+        Returns:
+            The verified :class:`~repro.core.schedule.Schedule` from
+            :meth:`converge`, discarding the convergence diagnostics.
+        """
         return self.converge(region, machine).schedule

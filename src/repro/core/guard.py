@@ -59,6 +59,28 @@ class GuardEvent:
             f"{self.kind} — {self.detail} [{action}]"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation for trace serialization."""
+        return {
+            "kind": "guard",
+            "pass_name": self.pass_name,
+            "round_index": self.round_index,
+            "guard_kind": self.kind,
+            "detail": self.detail,
+            "recovered": self.recovered,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GuardEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            pass_name=data["pass_name"],
+            round_index=int(data["round_index"]),
+            kind=data["guard_kind"],
+            detail=data["detail"],
+            recovered=bool(data.get("recovered", True)),
+        )
+
 
 @dataclass
 class PassGuard:
@@ -110,11 +132,20 @@ class PassGuard:
     ) -> Optional[GuardEvent]:
         """Run one pass under checkpoint/rollback protection.
 
-        Returns ``None`` on success, or the :class:`GuardEvent` that was
-        recorded when the pass failed and the matrix was rolled back.
         The matrix is left normalized either way: on success via the
         usual post-pass :meth:`normalize`, on failure because the
         checkpoint predates the pass (and was itself normalized).
+
+        Args:
+            scheduling_pass: The pass to apply.
+            ctx: The :class:`PassContext` holding the matrix to protect.
+            round_index: Which repetition of the sequence is running
+                (recorded on any resulting :class:`GuardEvent`).
+
+        Returns:
+            ``None`` on success, or the :class:`GuardEvent` that was
+            recorded when the pass failed and the matrix was rolled
+            back.
         """
         matrix: PreferenceMatrix = ctx.matrix
         token = matrix.checkpoint()

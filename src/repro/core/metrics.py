@@ -29,12 +29,55 @@ class PassRecord:
         spatial_only: True if the pass may change spatial preferences
             (Figures 7/9 exclude passes that only touch time).
         snapshot: Full matrix copy, when snapshotting is enabled.
+        wall_seconds: Pass wall time; populated only when the driver
+            runs under a real tracer (0.0 otherwise).
+        l1_churn: Mean per-instruction L1 weight movement caused by the
+            pass (tracer-enabled runs only).
+        flips: Count of instructions whose preferred cluster changed
+            (the numerator of ``changed_fraction``; tracer runs only).
+        mean_entropy: Mean normalized spatial entropy after the pass
+            (tracer-enabled runs only).
+        mean_confidence: Mean clamped confidence after the pass
+            (tracer-enabled runs only).
     """
 
     pass_name: str
     changed_fraction: float
     spatial_only: bool = True
     snapshot: Optional[PreferenceMatrix] = None
+    wall_seconds: float = 0.0
+    l1_churn: float = 0.0
+    flips: int = 0
+    mean_entropy: float = 0.0
+    mean_confidence: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (snapshots are never serialized)."""
+        return {
+            "kind": "pass",
+            "pass_name": self.pass_name,
+            "changed_fraction": self.changed_fraction,
+            "spatial_only": self.spatial_only,
+            "wall_seconds": self.wall_seconds,
+            "l1_churn": self.l1_churn,
+            "flips": self.flips,
+            "mean_entropy": self.mean_entropy,
+            "mean_confidence": self.mean_confidence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PassRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            pass_name=data["pass_name"],
+            changed_fraction=float(data["changed_fraction"]),
+            spatial_only=bool(data.get("spatial_only", True)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            l1_churn=float(data.get("l1_churn", 0.0)),
+            flips=int(data.get("flips", 0)),
+            mean_entropy=float(data.get("mean_entropy", 0.0)),
+            mean_confidence=float(data.get("mean_confidence", 0.0)),
+        )
 
 
 #: Passes that only modify temporal preferences; the paper's convergence
@@ -62,7 +105,17 @@ class ConvergenceTrace:
             )
 
     def observe_pass(self, pass_name: str, matrix: PreferenceMatrix) -> PassRecord:
-        """Record churn caused by the pass that just ran."""
+        """Record churn caused by the pass that just ran.
+
+        Args:
+            pass_name: Name of the pass that was applied.
+            matrix: The preference matrix after the pass (and its
+                post-pass normalization).
+
+        Returns:
+            The appended :class:`PassRecord`, which the caller may
+            enrich further (e.g. with tracer-derived wall time).
+        """
         preferred = matrix.preferred_clusters()
         if self._last_preferred is None or not preferred:
             changed = 0.0
@@ -101,6 +154,45 @@ class ConvergenceTrace:
     def series(self) -> List[float]:
         """The changed-fraction series for spatially active passes."""
         return [r.changed_fraction for r in self.spatial_records()]
+
+    # ------------------------------------------------------------------
+    # JSONL round-trip
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line: pass records, then guard events.
+
+        Snapshots are dropped (they are debugging state, not data);
+        everything else — including the tracer-populated churn/entropy/
+        confidence/time fields — survives :meth:`from_jsonl` exactly.
+        """
+        import json
+
+        lines = [json.dumps(r.to_dict(), sort_keys=True) for r in self.records]
+        for event in self.guard_events:
+            lines.append(json.dumps(event.to_dict(), sort_keys=True))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ConvergenceTrace":
+        """Rebuild a trace from :meth:`to_jsonl` output."""
+        import json
+
+        from .guard import GuardEvent
+
+        trace = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("kind") == "guard":
+                trace.guard_events.append(GuardEvent.from_dict(data))
+            else:
+                trace.records.append(PassRecord.from_dict(data))
+        if trace.records:
+            trace._last_preferred = None  # snapshots were not serialized
+        return trace
 
     def render(self, label: str = "") -> str:
         """ASCII sparkline of the convergence series."""

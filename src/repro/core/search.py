@@ -72,9 +72,17 @@ def evaluate_sequence(
     """Total trip-weighted schedule length of ``sequence`` on
     ``regions``.
 
-    Returns ``inf`` for sequences that fail to schedule (e.g. a
-    degenerate order that starves the list scheduler) so the search
-    simply walks away from them.
+    Args:
+        sequence: Pass names to instantiate and run in order.
+        regions: Regions the candidate is scored on.
+        machine: The target machine model.
+        seed: RNG seed forwarded to the scheduler (NOISE etc.).
+
+    Returns:
+        The objective value — lower is better — or ``inf`` for
+        sequences that fail to schedule (e.g. a degenerate order that
+        starves the list scheduler) so the search simply walks away
+        from them.
     """
     scheduler = ConvergentScheduler(passes=list(sequence), seed=seed)
     total = 0.0
@@ -146,8 +154,16 @@ class SequenceSearch:
         """Climb from ``start`` (default: the machine's tuned sequence).
 
         Each iteration proposes one mutation and accepts it iff it
-        strictly improves the objective; the caller controls budget via
-        ``iterations``.
+        strictly improves the objective.
+
+        Args:
+            start: Initial pass sequence; ``None`` selects the tuned
+                sequence for the machine (generic fallback otherwise).
+            iterations: Mutation budget.
+
+        Returns:
+            The :class:`SearchResult` with the best sequence found and
+            its objective history.
         """
         if start is None:
             from .sequences import GENERIC_SEQUENCE, sequence_for_machine
@@ -184,5 +200,15 @@ def search_sequence_for(
     iterations: int = 60,
     seed: int = 0,
 ) -> SearchResult:
-    """Convenience wrapper: hill-climb a sequence for ``machine``."""
+    """Convenience wrapper: hill-climb a sequence for ``machine``.
+
+    Args:
+        machine: The target machine model.
+        regions: Regions the candidates are scored on.
+        iterations: Mutation budget for the climb.
+        seed: RNG seed for both mutation choice and the schedulers.
+
+    Returns:
+        The :class:`SearchResult` of a fresh :class:`SequenceSearch`.
+    """
     return SequenceSearch(machine, regions, seed=seed).run(iterations=iterations)

@@ -93,6 +93,9 @@ def sequence_for_machine(machine_name: str, paper: bool = False) -> Sequence[str
         machine_name: e.g. ``"raw4x4"`` or ``"vliw4"``.
         paper: Return the published Table-1 sequence instead of the
             sequence tuned for this repository's substrate.
+
+    Returns:
+        A tuple of pass names, ready for :func:`build_sequence`.
     """
     if machine_name.startswith("raw"):
         return RAW_SEQUENCE if paper else TUNED_RAW_SEQUENCE

@@ -53,7 +53,16 @@ class PreferenceMatrix:
 
     @classmethod
     def for_region(cls, ddg: DataDependenceGraph, n_clusters: int) -> "PreferenceMatrix":
-        """Allocate a matrix sized to ``ddg``'s critical path length."""
+        """Allocate a matrix sized to ``ddg``'s critical path length.
+
+        Args:
+            ddg: The region's data dependence graph.
+            n_clusters: Number of clusters on the target machine.
+
+        Returns:
+            A fresh uniform matrix with one row per instruction and one
+            time slot per critical-path step (at least one).
+        """
         return cls(len(ddg), n_clusters, max(1, ddg.critical_path_length()))
 
     # ------------------------------------------------------------------
@@ -226,6 +235,47 @@ class PreferenceMatrix:
         return conf
 
     # ------------------------------------------------------------------
+    # Aggregate sharpness statistics (observability)
+    # ------------------------------------------------------------------
+
+    def entropies(self) -> np.ndarray:
+        """Normalized spatial entropy per instruction, in ``[0, 1]``.
+
+        Shannon entropy of each instruction's cluster marginal, divided
+        by ``log(n_clusters)``: 1 means the instruction is indifferent
+        (uniform over clusters), 0 means fully decided.  On one-cluster
+        machines every instruction is trivially decided (all zeros).
+        Works only on the memoized ``(N, C)`` marginals, so it is cheap
+        enough to evaluate after every pass.
+        """
+        if self.n_instructions == 0:
+            return np.zeros(0)
+        if self.n_clusters < 2:
+            return np.zeros(self.n_instructions)
+        marg = self.cluster_marginals()
+        sums = marg.sum(axis=1, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = np.where(sums > 0, marg / np.maximum(sums, 1e-300), 0.0)
+            logp = np.where(p > 0, np.log(np.maximum(p, 1e-300)), 0.0)
+        return -(p * logp).sum(axis=1) / math.log(self.n_clusters)
+
+    def mean_entropy(self) -> float:
+        """Mean of :meth:`entropies`; 0 for an empty matrix."""
+        ent = self.entropies()
+        return float(ent.mean()) if ent.size else 0.0
+
+    def mean_confidence(self, cap: float = 100.0) -> float:
+        """Mean per-instruction confidence, clamped to ``cap``.
+
+        The clamp keeps the mean finite and comparable across passes:
+        a single fully-decided instruction (confidence ``inf``) would
+        otherwise dominate the statistic.  0 for an empty matrix.
+        """
+        if self.n_instructions == 0:
+            return 0.0
+        return float(np.minimum(self.confidences(), cap).mean())
+
+    # ------------------------------------------------------------------
     # Basic operations (Section 3, "basic operations on the weights")
     # ------------------------------------------------------------------
 
@@ -238,7 +288,11 @@ class PreferenceMatrix:
     ) -> None:
         """Multiply a slice of instruction ``i``'s weights by ``factor``.
 
-        ``cluster``/``time`` restrict the slice; ``None`` spans the axis.
+        Args:
+            i: Instruction row to modify.
+            factor: Non-negative multiplier.
+            cluster: Restrict to one cluster; ``None`` spans the axis.
+            time: Restrict to one time slot; ``None`` spans the axis.
         """
         if factor < 0:
             raise ValueError("scale factor must be non-negative")
@@ -251,6 +305,11 @@ class PreferenceMatrix:
         """Zero every time slot of ``i`` outside ``[first, last]``.
 
         Used by INITTIME to erase infeasible slots.
+
+        Args:
+            i: Instruction row to modify.
+            first: First feasible slot (clamped to 0).
+            last: Last feasible slot (clamped to the matrix width).
         """
         first = max(0, first)
         last = min(self.n_time_slots - 1, last)
@@ -261,7 +320,12 @@ class PreferenceMatrix:
         self.touch()
 
     def squash_cluster(self, i: int, cluster: int) -> None:
-        """Zero all weight of ``i`` on ``cluster`` (infeasible placement)."""
+        """Zero all weight of ``i`` on ``cluster`` (infeasible placement).
+
+        Args:
+            i: Instruction row to modify.
+            cluster: Cluster column to erase.
+        """
         self._w[i, cluster, :] = 0.0
         self.touch()
 
@@ -270,6 +334,11 @@ class PreferenceMatrix:
 
         The paper's two-instruction linear combination, used by PATHPROP
         to propagate a confident instruction's matrix along a path.
+
+        Args:
+            dst: Instruction whose weights are updated in place.
+            src: Instruction whose weights are blended in.
+            keep: Fraction of ``dst``'s own weights retained, in [0, 1].
         """
         if not 0.0 <= keep <= 1.0:
             raise ValueError("keep must be in [0, 1]")
@@ -283,6 +352,11 @@ class PreferenceMatrix:
         mass moves toward ``src``'s cluster marginals.  This is the
         paper's cheaper partial combination "only along the space
         dimension".
+
+        Args:
+            dst: Instruction whose cluster marginals are updated.
+            src: Instruction whose cluster marginals are blended in.
+            keep: Fraction of ``dst``'s own marginals retained, in [0, 1].
         """
         if not 0.0 <= keep <= 1.0:
             raise ValueError("keep must be in [0, 1]")

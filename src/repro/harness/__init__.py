@@ -15,6 +15,7 @@ from .reporting import (
     arithmetic_mean,
     format_bar_chart,
     format_degradations,
+    format_metrics,
     format_table,
     geometric_mean,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "convergence_study",
     "format_bar_chart",
     "format_degradations",
+    "format_metrics",
     "format_table",
     "geometric_mean",
     "load_result",

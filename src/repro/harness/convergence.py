@@ -26,6 +26,7 @@ class ConvergenceStudy:
     series: Dict[str, List[float]] = field(default_factory=dict)
 
     def render(self, title: str = "") -> str:
+        """Per-benchmark churn table, one column per spatial pass."""
         lines = [title or f"convergence on {self.machine_name}"]
         header = "benchmark".ljust(14) + "  " + "  ".join(
             name[:9].ljust(9) for name in self.pass_names
@@ -48,8 +49,17 @@ def convergence_study(
     benchmarks: Sequence[str],
     seed: int = 0,
 ) -> ConvergenceStudy:
-    """Run the published pass sequence over ``benchmarks``, tracing the
-    preferred-cluster churn after every spatially active pass."""
+    """Run the tuned pass sequence over ``benchmarks``, tracing the
+    preferred-cluster churn after every spatially active pass.
+
+    Args:
+        machine: The target machine model.
+        benchmarks: Benchmark names to build and converge.
+        seed: RNG seed forwarded to every scheduler.
+
+    Returns:
+        A :class:`ConvergenceStudy` with one churn series per benchmark.
+    """
     study = ConvergenceStudy(machine_name=machine.name)
     for name in benchmarks:
         program = build_benchmark(name, machine)

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..ir.regions import Program, Region
 from ..machine.machine import Machine
+from ..observability.metrics import MetricsRegistry
 from ..schedulers.base import Scheduler
 from ..sim.simulator import SimulationReport, simulate
 
@@ -66,6 +67,10 @@ class ProgramResult:
         status: :data:`STATUS_OK`, :data:`STATUS_PARTIAL`, or
             :data:`STATUS_FAILED`.
         error: Summary of region failures when ``status`` is not ok.
+        metrics: JSON-safe :meth:`MetricsRegistry.snapshot
+            <repro.observability.metrics.MetricsRegistry.snapshot>` of
+            the run's counters and histograms; ``None`` unless
+            :func:`run_program` was given a registry.
     """
 
     benchmark: str
@@ -77,6 +82,7 @@ class ProgramResult:
     regions: List[RegionResult]
     status: str = STATUS_OK
     error: Optional[str] = None
+    metrics: Optional[Dict[str, Dict]] = None
 
     @property
     def instructions(self) -> int:
@@ -105,13 +111,41 @@ def run_region(
     scheduler: Scheduler,
     check_values: bool = True,
     capture_errors: bool = False,
+    registry: Optional[MetricsRegistry] = None,
 ) -> RegionResult:
     """Schedule one region, validate it, and report verified cycles.
 
     Args:
+        region: The region to schedule.
+        machine: Target machine model.
+        scheduler: Any :class:`~repro.schedulers.base.Scheduler`.
+        check_values: Replay the dataflow against the reference
+            interpreter in addition to structural validation.
         capture_errors: Return a ``status="failed"`` result instead of
             raising when the scheduler or the validator fails.
+        registry: Optional metrics registry; when given, per-region
+            counters (``regions.ok`` / ``regions.failed``, guard
+            interventions) and histograms (compile seconds, cycles,
+            transfers, utilization) are recorded into it.
+
+    Returns:
+        The :class:`RegionResult`; its ``cycles`` come from the
+        simulator, never the scheduler.
     """
+    result = _run_region(region, machine, scheduler, check_values, capture_errors)
+    if registry is not None:
+        _record_region_metrics(registry, result, scheduler)
+    return result
+
+
+def _run_region(
+    region: Region,
+    machine: Machine,
+    scheduler: Scheduler,
+    check_values: bool,
+    capture_errors: bool,
+) -> RegionResult:
+    """Schedule + validate one region (no metrics bookkeeping)."""
     started = time.perf_counter()
     try:
         schedule = scheduler.schedule(region, machine)
@@ -142,12 +176,34 @@ def run_region(
     )
 
 
+def _record_region_metrics(
+    registry: MetricsRegistry, result: RegionResult, scheduler: Scheduler
+) -> None:
+    """Fold one region outcome into the registry."""
+    registry.inc("regions.scheduled")
+    registry.inc("regions.ok" if result.ok else "regions.failed")
+    registry.observe("region.compile_seconds", result.compile_seconds)
+    registry.observe("region.instructions", result.n_instructions)
+    if result.ok:
+        registry.observe("region.cycles", result.cycles)
+        registry.observe("region.transfers", result.transfers)
+        registry.observe("region.utilization", result.utilization)
+    # Guard interventions, when the scheduler exposes a guarded result
+    # (ConvergentScheduler and FallbackChain do via ``last_result``).
+    last = getattr(scheduler, "last_result", None)
+    guard = getattr(last, "guard", None)
+    if guard is not None and guard.events:
+        registry.inc("guard.rollbacks", guard.n_failures)
+        registry.inc("guard.quarantines", len(guard.quarantined))
+
+
 def run_program(
     program: Program,
     machine: Machine,
     scheduler: Scheduler,
     check_values: bool = True,
     capture_errors: bool = True,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ProgramResult:
     """Schedule every region of ``program``; weight cycles by trip count.
 
@@ -155,6 +211,21 @@ def run_program(
     ``error`` on each :class:`RegionResult`, ``status="partial"`` or
     ``"failed"`` on the program) instead of aborting the whole program;
     pass ``capture_errors=False`` to restore fail-fast behavior.
+
+    Args:
+        program: The program whose regions are scheduled.
+        machine: Target machine model.
+        scheduler: Any :class:`~repro.schedulers.base.Scheduler`.
+        check_values: Replay the dataflow against the reference
+            interpreter for every region.
+        capture_errors: Capture per-region failures instead of raising.
+        registry: Optional :class:`~repro.observability.metrics.
+            MetricsRegistry`; when given, per-region counters and
+            histograms are recorded and the registry's snapshot is
+            attached as ``ProgramResult.metrics``.
+
+    Returns:
+        The aggregated :class:`ProgramResult`.
     """
     region_results: List[RegionResult] = []
     total_cycles = 0
@@ -167,6 +238,7 @@ def run_program(
             scheduler,
             check_values=check_values,
             capture_errors=capture_errors,
+            registry=registry,
         )
         region_results.append(result)
         total_cycles += result.cycles * region.trip_count
@@ -180,6 +252,9 @@ def run_program(
         error = "; ".join(
             f"{r.region_name}: {r.error}" for r in failed[:3]
         ) + ("" if len(failed) <= 3 else f"; +{len(failed) - 3} more")
+    if registry is not None:
+        registry.inc("programs.run")
+        registry.observe("program.compile_seconds", total_seconds)
     return ProgramResult(
         benchmark=program.name,
         machine_name=machine.name,
@@ -190,4 +265,5 @@ def run_program(
         regions=region_results,
         status=status,
         error=error,
+        metrics=registry.snapshot() if registry is not None else None,
     )

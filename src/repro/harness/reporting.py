@@ -15,7 +15,17 @@ def format_table(
     rows: Sequence[Sequence[object]],
     title: str = "",
 ) -> str:
-    """Align ``rows`` under ``headers``; floats get two decimals."""
+    """Align ``rows`` under ``headers``; floats get two decimals.
+
+    Args:
+        headers: Column headings, one per column.
+        rows: Cell values; each row must match ``headers`` in length.
+        title: Optional line printed above the table.
+
+    Returns:
+        The table as newline-joined text (first column left-aligned,
+        the rest right-aligned).
+    """
 
     def fmt(cell: object) -> str:
         if isinstance(cell, float):
@@ -44,7 +54,17 @@ def format_bar_chart(
     title: str = "",
     width: int = 40,
 ) -> str:
-    """Grouped horizontal bars: ``series[group][label] = value``."""
+    """Grouped horizontal bars: ``series[group][label] = value``.
+
+    Args:
+        series: Mapping of group name to ``{label: value}`` bars.
+        title: Optional line printed above the chart.
+        width: Character width of the longest bar.
+
+    Returns:
+        The chart as newline-joined text, bars scaled to the peak value
+        across all groups.
+    """
     peak = max(
         (value for group in series.values() for value in group.values()),
         default=1.0,
@@ -82,6 +102,41 @@ def format_degradations(result) -> str:
         f"  {ok_regions}/{result.n_regions} regions have verified schedules; "
         "cycle totals cover those regions only"
     )
+    return "\n".join(lines)
+
+
+def format_metrics(metrics: Optional[Mapping], title: str = "run metrics") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot
+    <repro.observability.metrics.MetricsRegistry.snapshot>` dict.
+
+    Counters print as ``name = value`` lines; histograms as an aligned
+    count/mean/min/max table.
+
+    Args:
+        metrics: A snapshot dict with ``counters``/``histograms`` keys,
+            or ``None``.
+        title: Heading line; pass ``""`` to suppress it.
+
+    Returns:
+        The rendered block, or an empty string for ``None`` or an empty
+        snapshot so callers can unconditionally print the return value.
+    """
+    if not metrics:
+        return ""
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    if not counters and not histograms:
+        return ""
+    lines = [title] if title else []
+    for name, value in sorted(counters.items()):
+        lines.append(f"  {name} = {value}")
+    if histograms:
+        rows = [
+            [name, h["count"], h["mean"], h["min"], h["max"]]
+            for name, h in sorted(histograms.items())
+        ]
+        table = format_table(["histogram", "count", "mean", "min", "max"], rows)
+        lines.extend("  " + line for line in table.splitlines())
     return "\n".join(lines)
 
 

@@ -36,6 +36,7 @@ def program_result_to_dict(result: ProgramResult) -> Dict:
         "compile_seconds": result.compile_seconds,
         "status": result.status,
         "error": result.error,
+        "metrics": result.metrics,
         "regions": [
             {
                 "name": r.region_name,
@@ -79,6 +80,7 @@ def program_result_from_dict(data: Dict) -> ProgramResult:
         regions=regions,
         status=data.get("status", "ok"),
         error=data.get("error"),
+        metrics=data.get("metrics"),
     )
 
 
@@ -174,7 +176,13 @@ _DESERIALIZERS = {
 
 
 def save_result(result, path: PathLike) -> None:
-    """Write any harness result object to ``path`` as JSON."""
+    """Write any harness result object to ``path`` as JSON.
+
+    Args:
+        result: A :class:`ProgramResult`, :class:`SpeedupTable`,
+            :class:`ConvergenceStudy`, or :class:`ScalingResult`.
+        path: Destination file path.
+    """
     for kind, serializer in _SERIALIZERS.items():
         if isinstance(result, kind):
             Path(path).write_text(json.dumps(serializer(result), indent=2))

@@ -40,6 +40,7 @@ class ScalingResult:
         return times[largest] / times[smallest]
 
     def render(self, title: str = "Figure 10: compile time (seconds)") -> str:
+        """Seconds-per-scheduler table, one row per graph size."""
         lines = [title]
         header = "instrs".ljust(8) + "".join(s.rjust(14) for s in self.seconds)
         lines.append(header)
@@ -62,6 +63,18 @@ def compile_time_scaling(
 
     Scheduling only is timed — simulation/validation is excluded, as the
     paper measures assignment + list scheduling.
+
+    Args:
+        sizes: Synthetic graph sizes (instruction counts) to sweep.
+        schedulers: ``{name: scheduler}`` to time; ``None`` selects the
+            paper's trio (pcc, uas, convergent).
+        n_clusters: Clusters on the synthetic VLIW target.
+        width: Layer width of the generated graphs.
+        seed: RNG seed for graph generation.
+
+    Returns:
+        A :class:`ScalingResult` mapping scheduler name to
+        seconds-per-size.
     """
     if schedulers is None:
         schedulers = {

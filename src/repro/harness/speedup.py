@@ -35,7 +35,15 @@ class SpeedupTable:
     baseline_cycles: Dict[str, int] = field(default_factory=dict)
 
     def mean_speedup(self, scheduler: str, size: int) -> float:
-        """Arithmetic-mean speedup of a scheduler at one machine size."""
+        """Arithmetic-mean speedup of a scheduler at one machine size.
+
+        Args:
+            scheduler: Scheduler name as recorded in :attr:`speedups`.
+            size: Machine size (tiles or clusters) to average over.
+
+        Returns:
+            The mean over benchmarks that ran with that scheduler.
+        """
         return arithmetic_mean(
             [bench[scheduler][size] for bench in self.speedups.values() if scheduler in bench]
         )
@@ -43,8 +51,16 @@ class SpeedupTable:
     def improvement(self, scheduler: str, over: str, size: int) -> float:
         """Mean per-benchmark ratio of ``scheduler`` over ``over``.
 
-        The paper's "21% improvement" metric: mean of per-benchmark
-        speedup ratios minus one.
+        The paper's "21% improvement" metric.
+
+        Args:
+            scheduler: Scheduler whose improvement is measured.
+            over: Baseline scheduler name.
+            size: Machine size (tiles or clusters) to compare at.
+
+        Returns:
+            Mean of per-benchmark speedup ratios minus one (0.0 when no
+            benchmark ran under both schedulers).
         """
         ratios = [
             bench[scheduler][size] / bench[over][size]
@@ -84,6 +100,17 @@ def raw_speedups(
     Every benchmark is scheduled on 1 tile (denominator) and on each
     mesh size with each scheduler; speedups are relative to the 1-tile
     run of the same program.
+
+    Args:
+        benchmarks: Benchmark names from the Raw suite.
+        sizes: Mesh sizes (tile counts) to sweep.
+        schedulers: ``{name: scheduler}``; ``None`` selects rawcc and
+            convergent.
+        check_values: Verify simulated register values against the
+            reference interpreter.
+
+    Returns:
+        The populated :class:`SpeedupTable`.
     """
     if schedulers is None:
         schedulers = {"rawcc": RawccScheduler(), "convergent": ConvergentScheduler()}
@@ -121,6 +148,17 @@ def vliw_speedups(
     """Reproduce Figure 8: PCC vs UAS vs convergent on a clustered VLIW.
 
     Speedup is relative to a single-cluster machine of the same family.
+
+    Args:
+        benchmarks: Benchmark names from the VLIW suite.
+        n_clusters: Cluster count of the target machine.
+        schedulers: ``{name: scheduler}``; ``None`` selects the paper's
+            trio (pcc, uas, convergent).
+        check_values: Verify simulated register values against the
+            reference interpreter.
+
+    Returns:
+        The populated :class:`SpeedupTable`.
     """
     if schedulers is None:
         schedulers = {

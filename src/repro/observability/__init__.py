@@ -1,0 +1,69 @@
+"""Observability for the convergent scheduling pipeline.
+
+The paper's convergence claims (Figures 7, 9) and compile-time profile
+(Figure 10) are *process* measurements — they describe how scheduling
+unfolds, not just the final cycle count.  This package provides the
+instrumentation substrate for those measurements:
+
+* :mod:`~repro.observability.tracer` — JSONL span/event tracing with a
+  no-op :data:`~repro.observability.tracer.NULL_TRACER` default, so
+  untraced scheduling stays behavior- and speed-neutral;
+* :mod:`~repro.observability.metrics` — per-pass matrix-delta metrics
+  (L1 churn, preferred-cluster flips, entropy, confidence) and a
+  counters/histograms :class:`~repro.observability.metrics.MetricsRegistry`
+  aggregated into harness results;
+* :mod:`~repro.observability.render` — terminal views: the
+  ``repro trace`` per-pass table with a confidence sparkline and the
+  ``repro profile`` compile-time breakdown.
+
+See ``docs/observability.md`` for the trace schema and usage.
+"""
+
+from .metrics import (
+    CONFIDENCE_CAP,
+    Histogram,
+    MetricsRegistry,
+    matrix_delta,
+    trace_to_registry,
+)
+from .render import pass_spans, render_profile, render_trace, sparkline
+from .tracer import (
+    KIND_EVENT,
+    KIND_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    TraceRecord,
+    Tracer,
+    active,
+    install,
+    instrumented,
+    read_jsonl,
+    timed,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "CONFIDENCE_CAP",
+    "Histogram",
+    "KIND_EVENT",
+    "KIND_SPAN",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceRecord",
+    "Tracer",
+    "active",
+    "install",
+    "instrumented",
+    "matrix_delta",
+    "pass_spans",
+    "read_jsonl",
+    "render_profile",
+    "render_trace",
+    "sparkline",
+    "timed",
+    "trace_to_registry",
+    "tracing",
+    "uninstall",
+]

@@ -1,0 +1,224 @@
+"""Convergence metrics and a counters/histograms registry.
+
+Two things live here:
+
+* :func:`matrix_delta` — the per-pass measurement behind ``repro
+  trace``: given a snapshot of the preference matrix from *before* a
+  pass, quantify what the pass did to it (L1 weight churn, preferred-
+  cluster flips) alongside the matrix's current sharpness (mean
+  normalized entropy, mean clamped confidence).
+* :class:`MetricsRegistry` — a tiny counters-and-histograms registry
+  the harness aggregates into :class:`~repro.harness.experiment.
+  ProgramResult` and :func:`repro.harness.reporting.format_metrics`
+  renders.  Snapshots are plain JSON-safe dicts so they survive the
+  results round-trip unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.weights import PreferenceMatrix
+
+#: Confidence values are clamped here before averaging so a single
+#: fully-decided instruction (confidence = inf) cannot drown the mean.
+CONFIDENCE_CAP = 100.0
+
+
+def matrix_delta(
+    before_weights: np.ndarray,
+    before_preferred: Sequence[int],
+    matrix: "PreferenceMatrix",
+) -> Dict[str, float]:
+    """Measure what one pass did to the preference matrix.
+
+    Args:
+        before_weights: Checkpoint of the raw ``(N, C, T)`` weights
+            taken before the pass (:meth:`PreferenceMatrix.checkpoint`).
+        before_preferred: Preferred cluster per instruction before the
+            pass (:meth:`PreferenceMatrix.preferred_clusters`).
+        matrix: The matrix after the pass (and its normalize).
+
+    Returns:
+        Dict with keys:
+
+        * ``l1_churn`` — mean absolute per-instruction weight movement
+          (L1 distance between the old and new rows, averaged over
+          instructions; 0 = the pass changed nothing, 2 = every
+          instruction moved all its mass).
+        * ``flips`` — number of instructions whose preferred cluster
+          changed.
+        * ``flip_fraction`` — ``flips`` over the instruction count.
+        * ``mean_entropy`` — current mean normalized spatial entropy
+          (:meth:`PreferenceMatrix.mean_entropy`).
+        * ``mean_confidence`` — current mean clamped confidence
+          (:meth:`PreferenceMatrix.mean_confidence`).
+    """
+    n = matrix.n_instructions
+    if n == 0:
+        return {
+            "l1_churn": 0.0,
+            "flips": 0,
+            "flip_fraction": 0.0,
+            "mean_entropy": 0.0,
+            "mean_confidence": 0.0,
+        }
+    l1 = float(np.abs(matrix.data - before_weights).sum()) / n
+    preferred = matrix.preferred_clusters()
+    flips = int(sum(1 for a, b in zip(before_preferred, preferred) if a != b))
+    return {
+        "l1_churn": l1,
+        "flips": flips,
+        "flip_fraction": flips / n,
+        "mean_entropy": matrix.mean_entropy(),
+        "mean_confidence": matrix.mean_confidence(cap=CONFIDENCE_CAP),
+    }
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed value: count/sum/min/max.
+
+    Keeps O(1) state — no buckets — which is all the harness needs to
+    report means and ranges per metric.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations; 0 when empty."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe summary."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        out = cls(count=int(data["count"]), total=float(data["total"]))
+        if out.count:
+            out.min = float(data["min"])
+            out.max = float(data["max"])
+        return out
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters and histograms for one run.
+
+    Counters answer "how many" (regions scheduled, guard rollbacks);
+    histograms answer "how much, typically" (compile seconds per
+    region, cycles per region).  The registry is deliberately schema-
+    free: any dotted name may be used, and :meth:`snapshot` produces
+    the JSON-safe dict that rides on ``ProgramResult.metrics``.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at 0).
+
+        Args:
+            name: Counter name, e.g. ``"regions.scheduled"``.
+            amount: Increment, default 1.
+        """
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name`` (creating it).
+
+        Args:
+            name: Histogram name, e.g. ``"region.compile_seconds"``.
+            value: The observation to fold in.
+        """
+        self.histograms.setdefault(name, Histogram()).observe(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """Histogram ``name``, or ``None`` when nothing was observed."""
+        return self.histograms.get(name)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (fleet aggregation)."""
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        for name, histogram in other.histograms.items():
+            self.histograms.setdefault(name, Histogram()).merge(histogram)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-safe dump: ``{"counters": {...}, "histograms": {...}}``."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Dict]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        out = cls()
+        out.counters = {k: int(v) for k, v in data.get("counters", {}).items()}
+        out.histograms = {
+            k: Histogram.from_dict(v) for k, v in data.get("histograms", {}).items()
+        }
+        return out
+
+
+def trace_to_registry(records: Sequence, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Aggregate tracer records into a registry.
+
+    Every span contributes ``span.<name>`` count/duration histograms;
+    every event increments ``event.<name>``.  Used by ``repro profile``
+    to turn a raw trace into the compile-time breakdown table.
+
+    Args:
+        records: :class:`~repro.observability.tracer.TraceRecord` items.
+        registry: Registry to fold into; ``None`` creates a fresh one.
+
+    Returns:
+        The registry the records were folded into.
+    """
+    registry = registry or MetricsRegistry()
+    for record in records:
+        if record.kind == "span":
+            registry.inc(f"span.{record.name}")
+            registry.observe(f"span.{record.name}.seconds", record.duration_s or 0.0)
+        else:
+            registry.inc(f"event.{record.name}")
+    return registry

@@ -1,0 +1,161 @@
+"""Terminal rendering of traces and profiles.
+
+Turns the flat record stream of :mod:`repro.observability.tracer` into
+the two views the CLI exposes: ``repro trace`` (per-pass convergence
+table plus a confidence sparkline) and ``repro profile`` (compile-time
+breakdown table in the shape of the paper's Figure 10 discussion —
+where does scheduling time actually go).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .tracer import KIND_EVENT, KIND_SPAN, TraceRecord
+
+
+def _format_table(headers, rows, title=""):
+    # Imported lazily: repro.harness's package __init__ pulls in the
+    # scheduler core, which imports this package — a top-level import
+    # here would close that cycle during interpreter start-up.
+    from ..harness.reporting import format_table
+
+    return format_table(headers, rows, title=title)
+
+#: Glyph ramp for :func:`sparkline`, weakest to strongest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+#: Span-name prefix the convergent scheduler uses for pass applications.
+PASS_SPAN_PREFIX = "pass:"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None, hi: Optional[float] = None) -> str:
+    """One glyph per value, scaled between ``lo`` and ``hi``.
+
+    Args:
+        values: The series to plot; empty input yields an empty string.
+        lo: Bottom of the scale; defaults to ``min(values)``.
+        hi: Top of the scale; defaults to ``max(values)``.
+
+    Returns:
+        A string of block glyphs, one per value.
+    """
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return SPARK_GLYPHS[-1] * len(values)
+    out = []
+    for v in values:
+        idx = int((min(max(v, lo), hi) - lo) / span * (len(SPARK_GLYPHS) - 1))
+        out.append(SPARK_GLYPHS[idx])
+    return "".join(out)
+
+
+def pass_spans(records: Sequence[TraceRecord]) -> List[TraceRecord]:
+    """The per-pass spans of a trace, in execution order."""
+    return [
+        r for r in records
+        if r.kind == KIND_SPAN and r.name.startswith(PASS_SPAN_PREFIX)
+    ]
+
+
+def render_trace(records: Sequence[TraceRecord], title: str = "convergence trace") -> str:
+    """Per-pass convergence table plus a confidence sparkline.
+
+    Expects the record vocabulary produced by
+    :meth:`~repro.core.convergent.ConvergentScheduler.converge` under a
+    real tracer: ``pass:<NAME>`` spans carrying matrix-delta fields and
+    ``guard`` events for rollbacks/quarantines.
+
+    Args:
+        records: Trace records from one (or more) converge runs.
+        title: Heading line for the table.
+
+    Returns:
+        The rendered table, sparkline, and any guard-event lines.
+    """
+    passes = pass_spans(records)
+    rows = []
+    confidences: List[float] = []
+    for r in passes:
+        f = r.fields
+        confidences.append(float(f.get("mean_confidence", 0.0)))
+        rows.append(
+            [
+                r.name[len(PASS_SPAN_PREFIX):],
+                f.get("round", 0),
+                f"{(r.duration_s or 0.0) * 1000:.2f}",
+                f"{f.get('l1_churn', 0.0):.4f}",
+                f.get("flips", 0),
+                f"{f.get('mean_entropy', 0.0):.3f}",
+                f"{f.get('mean_confidence', 0.0):.2f}",
+            ]
+        )
+    lines = [
+        _format_table(
+            ["pass", "round", "ms", "churn(L1)", "flips", "entropy", "confidence"],
+            rows,
+            title=title,
+        )
+    ]
+    if confidences:
+        lines.append("")
+        lines.append(f"confidence/pass  {sparkline(confidences, lo=0.0)}  "
+                     f"(final {confidences[-1]:.2f})")
+    guard_events = [r for r in records if r.kind == KIND_EVENT and r.name == "guard"]
+    for event in guard_events:
+        f = event.fields
+        lines.append(
+            f"  ! guard: {f.get('pass_name')} (round {f.get('round')}) "
+            f"{f.get('guard_kind')} — {f.get('detail')}"
+        )
+    return "\n".join(lines)
+
+
+def render_profile(records: Sequence[TraceRecord], title: str = "compile-time profile") -> str:
+    """Where the compile time went: per-phase breakdown table.
+
+    Spans are grouped by name; the share column is computed against the
+    total wall time of top-level (depth-0) spans, so nested phases
+    (passes inside ``converge``) show their contribution without the
+    percentages pretending to sum to 100.
+
+    Args:
+        records: Trace records from one or more runs.
+        title: Heading line for the table.
+
+    Returns:
+        The rendered breakdown table with a top-level total footer.
+    """
+    totals: Dict[str, List[float]] = {}
+    order: List[str] = []
+    wall = 0.0
+    for r in records:
+        if r.kind != KIND_SPAN:
+            continue
+        if r.name not in totals:
+            totals[r.name] = [0, 0.0]
+            order.append(r.name)
+        totals[r.name][0] += 1
+        totals[r.name][1] += r.duration_s or 0.0
+        if r.depth == 0:
+            wall += r.duration_s or 0.0
+    rows = []
+    for name in sorted(order, key=lambda n: -totals[n][1]):
+        calls, seconds = totals[name]
+        rows.append(
+            [
+                name,
+                int(calls),
+                f"{seconds * 1000:.2f}",
+                f"{seconds / calls * 1000:.3f}",
+                f"{100 * seconds / wall:.1f}%" if wall > 0 else "-",
+            ]
+        )
+    table = _format_table(
+        ["phase", "calls", "total ms", "mean ms", "share"], rows, title=title
+    )
+    return table + f"\n{'total (top-level)':<12}  {wall * 1000:.2f} ms"

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir.regions import Region
 from ..machine.machine import Machine
+from ..observability.tracer import timed
 from ..schedulers.list_scheduler import effective_latency, feasible_clusters
 from ..schedulers.schedule import Schedule
 from .interpreter import evaluate_instruction, reference_values
@@ -90,6 +91,18 @@ def simulate(
         A :class:`SimulationReport`; ``report.cycles`` is the metric the
         benchmark harness aggregates.
     """
+    with timed("simulate", region=region.name, machine=machine.name):
+        return _simulate(region, machine, schedule, strict, check_values)
+
+
+def _simulate(
+    region: Region,
+    machine: Machine,
+    schedule: Schedule,
+    strict: bool,
+    check_values: bool,
+) -> SimulationReport:
+    """The body of :func:`simulate`, run inside its profiling span."""
     ddg = region.ddg
     errors: List[str] = []
 

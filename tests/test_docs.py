@@ -5,9 +5,13 @@ present and truthful, and enforce docstring coverage across the public
 surface — every module, every public class, every public function.
 """
 
+import argparse
 import importlib
 import inspect
+import os
 import pkgutil
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -29,7 +33,8 @@ def walk_modules():
 class TestDocumentsExist:
     @pytest.mark.parametrize(
         "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-                 "docs/passes.md", "docs/machines.md"]
+                 "docs/passes.md", "docs/machines.md",
+                 "docs/architecture.md", "docs/observability.md"]
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -60,6 +65,55 @@ class TestDocumentsExist:
         text = (ROOT / "docs" / "passes.md").read_text()
         for name in PASS_REGISTRY:
             assert f"## {name}" in text, f"docs/passes.md missing {name}"
+
+    def test_readme_documents_every_cli_verb(self):
+        from repro.cli import build_parser
+
+        text = (ROOT / "README.md").read_text()
+        subparsers = next(
+            a for a in build_parser()._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        for verb in subparsers.choices:
+            assert f"`{verb}`" in text, f"README.md missing CLI verb {verb}"
+
+    def test_observability_doc_covers_the_cli_and_schema(self):
+        text = (ROOT / "docs" / "observability.md").read_text()
+        for needle in ("repro trace", "repro profile", "l1_churn",
+                       "mean_entropy", "mean_confidence", "NullTracer",
+                       "JSONL"):
+            assert needle in text, f"docs/observability.md missing {needle!r}"
+
+    def test_architecture_doc_maps_every_package(self):
+        text = (ROOT / "docs" / "architecture.md").read_text()
+        packages = [
+            p.name for p in (ROOT / "src" / "repro").iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
+        ]
+        for package in packages:
+            assert f"repro.{package}" in text, (
+                f"docs/architecture.md missing repro.{package}"
+            )
+
+
+class TestAudits:
+    """The scripts/ audits double as tests so CI and pytest agree."""
+
+    def _run(self, script):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src")
+        return subprocess.run(
+            [sys.executable, str(ROOT / "scripts" / script)],
+            capture_output=True, text=True, env=env, cwd=ROOT,
+        )
+
+    def test_docstring_audit_passes(self):
+        proc = self._run("check_docstrings.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_link_audit_passes(self):
+        proc = self._run("check_links.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 class TestDocstringCoverage:
