@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Bench-snapshot audit: validate every committed ``BENCH_*.json``.
+
+Each snapshot at the repository root is parsed and checked against the
+current schema (:data:`repro.observability.bench.SCHEMA_VERSION`): the
+``kind`` discriminator, version, environment fingerprint, config, and
+per-cell quality/cost field types.  The filename number must also match
+the embedded ``snapshot_id``, so a copied or hand-renamed snapshot
+cannot masquerade as a different point in the trajectory.
+
+Exit status 0 when clean, 1 with a per-problem report otherwise.
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_bench_schema.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.observability.bench import (
+    SNAPSHOT_PATTERN,
+    snapshot_paths,
+    validate_snapshot,
+)
+
+
+def check_snapshot(path: Path) -> List[str]:
+    """Validate one snapshot file; returns human-readable problems.
+
+    Args:
+        path: The ``BENCH_<n>.json`` file to validate.
+
+    Returns:
+        Problem strings, empty when the file is schema-valid.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"not valid JSON: {exc}"]
+    problems = validate_snapshot(data)
+    expected_id = int(SNAPSHOT_PATTERN.fullmatch(path.name).group(1))
+    if isinstance(data, dict) and data.get("snapshot_id") != expected_id:
+        problems.append(
+            f"snapshot_id {data.get('snapshot_id')!r} does not match "
+            f"filename number {expected_id}"
+        )
+    return problems
+
+
+def main() -> int:
+    """Entry point; returns the process exit code."""
+    root = Path(__file__).resolve().parent.parent
+    paths = snapshot_paths(root)
+    if not paths:
+        print("bench schema audit: no BENCH_*.json snapshots found")
+        return 1
+    failures = 0
+    for path in paths:
+        for problem in check_snapshot(path):
+            print(f"{path.name}: {problem}")
+            failures += 1
+    if failures:
+        print(f"bench schema audit FAILED ({failures} problem(s))")
+        return 1
+    print(f"bench schema audit ok: {len(paths)} snapshot(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,13 @@
 * ``table2`` / ``fig6`` / ``fig8`` / ``fig10`` / ``convergence`` —
   regenerate the paper's tables and figures;
 * ``trace`` — dump/inspect one region's convergence trace: per-pass
-  wall time, weight churn, entropy, confidence (JSONL + table);
+  wall time, weight churn, entropy, confidence (JSONL + table); with
+  ``--diff`` align two saved traces pass-by-pass instead;
 * ``profile`` — compile-time breakdown across pipeline phases;
+* ``bench`` — benchmark-snapshot subsystem: run the workload matrix
+  into a schema-versioned ``BENCH_<n>.json``, or compare snapshots
+  (``--compare A B`` / ``--against-latest``) with a CI-gating exit
+  code on schedule-quality regressions;
 * ``search`` — hill-climb a pass sequence for a machine on a training
   set;
 * ``faults`` — seeded fault-injection campaign demonstrating the
@@ -20,6 +25,8 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .core import ConvergentScheduler, PASS_REGISTRY, sequence_for_machine
@@ -30,6 +37,7 @@ from .harness import (
     convergence_study,
     format_degradations,
     format_metrics,
+    format_table,
     raw_speedups,
     run_program,
     save_result,
@@ -37,10 +45,17 @@ from .harness import (
 )
 from .machine import ClusteredVLIW, Machine, RawMachine, raw_with_tiles
 from .observability import (
+    BenchSnapshot,
     MetricsRegistry,
     Tracer,
+    compare_snapshots,
+    latest_snapshot_path,
+    next_snapshot_path,
+    read_jsonl,
     render_profile,
     render_trace,
+    render_trace_diff,
+    run_bench,
     tracing,
 )
 from .schedulers import (
@@ -189,6 +204,25 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Trace one region's convergence and print the per-pass table."""
+    if args.diff:
+        path_a, path_b = args.diff
+        for path in (path_a, path_b):
+            if not Path(path).exists():
+                print(f"error: no such trace file: {path}", file=sys.stderr)
+                return 2
+        print(
+            render_trace_diff(
+                read_jsonl(Path(path_a)),
+                read_jsonl(Path(path_b)),
+                label_a=Path(path_a).stem,
+                label_b=Path(path_b).stem,
+            )
+        )
+        return 0
+    if args.benchmark is None:
+        print("error: a benchmark (or --diff RUN_A RUN_B) is required",
+              file=sys.stderr)
+        return 2
     machine = parse_machine(args.machine)
     program = build_benchmark(args.benchmark, machine)
     if not 0 <= args.region < len(program.regions):
@@ -229,6 +263,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     scheduler = ConvergentScheduler(seed=args.seed)
     tracer = Tracer()
     registry = MetricsRegistry()
+    started = time.perf_counter()
     with tracing(tracer):
         for _ in range(args.repeat):
             result = run_program(
@@ -238,12 +273,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 check_values=not args.fast,
                 registry=registry,
             )
+    wall_seconds = time.perf_counter() - started
     title = (
         f"compile-time profile: {args.benchmark} on {machine.name} "
         f"({result.instructions} instructions, {result.n_regions} region(s), "
         f"x{args.repeat})"
     )
-    print(render_profile(tracer.records, title=title))
+    print(render_profile(tracer.records, title=title, wall_seconds=wall_seconds))
     summary = format_metrics(registry.snapshot(), title="\nrun metrics")
     if summary:
         print(summary)
@@ -254,6 +290,91 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if warning:
         print(warning)
         return 1
+    return 0
+
+
+def _render_snapshot_summary(snapshot) -> str:
+    """Compact per-cell quality table for a fresh snapshot."""
+    rows = [
+        [
+            cell.machine,
+            cell.benchmark,
+            cell.scheduler,
+            cell.quality["cycles"],
+            f"{cell.quality['speedup']:.2f}",
+            cell.quality["transfers"],
+            f"{cell.quality['utilization']:.2f}",
+            f"{cell.cost['compile_seconds']:.3f}"
+            + (" !" if cell.cost.get("timing_noisy") else ""),
+        ]
+        for cell in snapshot.cells
+    ]
+    title = (
+        f"bench snapshot: {len(snapshot.cells)} cells, "
+        f"tier {snapshot.config.get('tier')}, "
+        f"{snapshot.wall_seconds:.1f}s wall, "
+        f"peak RSS {snapshot.peak_rss_kb} KB"
+    )
+    return format_table(
+        ["machine", "benchmark", "scheduler", "cycles", "speedup",
+         "transfers", "util", "compile s"],
+        rows,
+        title=title,
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark snapshots: run the matrix, or compare two snapshots."""
+    if args.compare:
+        snap_a = BenchSnapshot.load(args.compare[0])
+        snap_b = BenchSnapshot.load(args.compare[1])
+        comparison = compare_snapshots(snap_a, snap_b, timing_tolerance=args.tolerance)
+        print(comparison.render(show_neutral=args.all_cells))
+        if args.report:
+            Path(args.report).write_text(comparison.to_markdown())
+            print(f"markdown report written to {args.report}")
+        return 0 if comparison.ok else 1
+
+    machines = [parse_machine(s) for s in _split(args.machines)] if args.machines else None
+    snapshot = run_bench(
+        machines=machines,
+        benchmarks=_split(args.benchmarks),
+        schedulers=_split(args.schedulers),
+        repeats=args.repeats,
+        seed=args.seed,
+        quick=args.quick,
+        check_values=args.check_values,
+    )
+    print(_render_snapshot_summary(snapshot))
+
+    if args.against_latest:
+        latest = latest_snapshot_path()
+        if latest is None:
+            print(
+                "error: no committed BENCH_*.json to compare against; "
+                "run `repro bench` first to create the baseline",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = BenchSnapshot.load(latest)
+        comparison = compare_snapshots(
+            baseline, snapshot, timing_tolerance=args.tolerance
+        )
+        print()
+        print(comparison.render(show_neutral=args.all_cells))
+        if args.report:
+            Path(args.report).write_text(comparison.to_markdown())
+            print(f"markdown report written to {args.report}")
+        if args.out:
+            snapshot.save(args.out)
+            print(f"snapshot written to {args.out}")
+        return 0 if comparison.ok else 1
+
+    path = Path(args.out) if args.out else next_snapshot_path()
+    digits = re.findall(r"BENCH_(\d+)", path.name)
+    snapshot.snapshot_id = int(digits[0]) if digits else 0
+    snapshot.save(path)
+    print(f"snapshot written to {path}")
     return 0
 
 
@@ -345,13 +466,56 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="per-pass convergence trace (churn/entropy/confidence/time)"
     )
-    trace.add_argument("benchmark", choices=sorted(KERNELS))
+    trace.add_argument("benchmark", nargs="?", choices=sorted(KERNELS))
     trace.add_argument("--machine", default="vliw4")
     trace.add_argument("--region", type=int, default=0, help="region index")
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", help="write the JSONL trace to this path")
     trace.add_argument(
         "--jsonl", action="store_true", help="also dump raw JSONL to stdout"
+    )
+    trace.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("RUN_A", "RUN_B"),
+        help="align two saved JSONL traces pass-by-pass and diff them",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark snapshots: run the matrix or compare BENCH_*.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="3-benchmark fast tier for pre-commit / CI gating",
+    )
+    bench.add_argument("--machines", help="comma-separated machine specs")
+    bench.add_argument("--benchmarks", help="comma-separated subset")
+    bench.add_argument("--schedulers", help="comma-separated scheduler subset")
+    bench.add_argument("--repeats", type=int, default=None, help="timing repeats")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--check-values", action="store_true",
+        help="replay dataflow during simulation (slower; same cycles)",
+    )
+    bench.add_argument("--out", help="snapshot path (default: next BENCH_<n>.json)")
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("A", "B"),
+        help="diff two snapshot files instead of running",
+    )
+    bench.add_argument(
+        "--against-latest", action="store_true",
+        help="run, then diff against the latest committed BENCH_*.json "
+             "(exit 1 on quality regression)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="relative compile-time tolerance for the diff (default 0.2)",
+    )
+    bench.add_argument(
+        "--report", help="also write the comparison as markdown to this path"
+    )
+    bench.add_argument(
+        "--all-cells", action="store_true", help="show neutral cells in the diff"
     )
 
     profile = sub.add_parser(
@@ -387,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "all": _cmd_all,
+    "bench": _cmd_bench,
     "list": _cmd_list,
     "schedule": _cmd_schedule,
     "table2": _cmd_table2,

@@ -10,6 +10,7 @@ from .experiment import (
     run_program,
     run_region,
 )
+from .measure import Measurement, measure_program, median
 from .results import load_result, save_result
 from .reporting import (
     arithmetic_mean,
@@ -29,6 +30,7 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_OK",
     "STATUS_PARTIAL",
+    "Measurement",
     "ScalingResult",
     "SpeedupTable",
     "arithmetic_mean",
@@ -40,6 +42,8 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "load_result",
+    "measure_program",
+    "median",
     "save_result",
     "raw_speedups",
     "run_program",

@@ -39,6 +39,9 @@ class RegionResult:
         error: Failure description when ``status`` is not ok.
         n_instructions: Instruction count of the region's DDG (0 when
             the region failed before its graph was inspected).
+        comm_busy: Busy communication-resource cycles of the verified
+            schedule (:attr:`repro.sim.simulator.SimulationReport.
+            comm_busy_total`); 0 when the region failed.
     """
 
     region_name: str
@@ -47,6 +50,7 @@ class RegionResult:
     utilization: float
     compile_seconds: float
     n_instructions: int = 0
+    comm_busy: int = 0
     status: str = STATUS_OK
     error: Optional[str] = None
 
@@ -88,6 +92,21 @@ class ProgramResult:
     def instructions(self) -> int:
         """Total instruction count across all regions."""
         return sum(r.n_instructions for r in self.regions)
+
+    @property
+    def utilization(self) -> float:
+        """Mean FU-slot utilization over the succeeded regions (0-1).
+
+        Unweighted mean of each ok region's simulator-reported
+        utilization; 0.0 when no region succeeded.
+        """
+        ok = [r.utilization for r in self.regions if r.ok]
+        return sum(ok) / len(ok) if ok else 0.0
+
+    @property
+    def comm_busy(self) -> int:
+        """Total busy communication-resource cycles over ok regions."""
+        return sum(r.comm_busy for r in self.regions if r.ok)
 
     @property
     def n_regions(self) -> int:
@@ -173,6 +192,7 @@ def _run_region(
         utilization=report.utilization(machine),
         compile_seconds=elapsed,
         n_instructions=len(region.ddg),
+        comm_busy=report.comm_busy_total,
     )
 
 
@@ -188,6 +208,7 @@ def _record_region_metrics(
         registry.observe("region.cycles", result.cycles)
         registry.observe("region.transfers", result.transfers)
         registry.observe("region.utilization", result.utilization)
+        registry.observe("region.comm_busy", result.comm_busy)
     # Guard interventions, when the scheduler exposes a guarded result
     # (ConvergentScheduler and FallbackChain do via ``last_result``).
     last = getattr(scheduler, "last_result", None)

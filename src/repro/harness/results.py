@@ -45,6 +45,7 @@ def program_result_to_dict(result: ProgramResult) -> Dict:
                 "utilization": r.utilization,
                 "compile_seconds": r.compile_seconds,
                 "n_instructions": r.n_instructions,
+                "comm_busy": r.comm_busy,
                 "status": r.status,
                 "error": r.error,
             }
@@ -65,6 +66,7 @@ def program_result_from_dict(data: Dict) -> ProgramResult:
             utilization=float(r["utilization"]),
             compile_seconds=float(r["compile_seconds"]),
             n_instructions=int(r.get("n_instructions", 0)),
+            comm_busy=int(r.get("comm_busy", 0)),
             status=r.get("status", "ok"),
             error=r.get("error"),
         )

@@ -14,9 +14,16 @@ instrumentation substrate for those measurements:
   aggregated into harness results;
 * :mod:`~repro.observability.render` — terminal views: the
   ``repro trace`` per-pass table with a confidence sparkline and the
-  ``repro profile`` compile-time breakdown.
+  ``repro profile`` compile-time breakdown;
+* :mod:`~repro.observability.bench` — schema-versioned benchmark
+  snapshots (``BENCH_<n>.json``): schedule quality plus compile cost
+  for the full workload matrix, with an environment fingerprint;
+* :mod:`~repro.observability.diff` — the comparison engines behind
+  ``repro bench --compare`` (exact-gated quality, tolerance-gated
+  timing) and ``repro trace --diff`` (pass-aligned trace diffs).
 
-See ``docs/observability.md`` for the trace schema and usage.
+See ``docs/observability.md`` for the trace schema and
+``docs/benchmarking.md`` for the snapshot schema and gate policy.
 """
 
 from .metrics import (
@@ -42,8 +49,40 @@ from .tracer import (
     tracing,
     uninstall,
 )
+from .bench import (
+    BenchCell,
+    BenchSnapshot,
+    SCHEMA_VERSION,
+    environment_fingerprint,
+    latest_snapshot_path,
+    next_snapshot_path,
+    run_bench,
+    snapshot_paths,
+    validate_snapshot,
+)
+from .diff import (
+    BenchComparison,
+    CellDelta,
+    align_traces,
+    compare_snapshots,
+    render_trace_diff,
+)
 
 __all__ = [
+    "BenchCell",
+    "BenchComparison",
+    "BenchSnapshot",
+    "CellDelta",
+    "SCHEMA_VERSION",
+    "align_traces",
+    "compare_snapshots",
+    "environment_fingerprint",
+    "latest_snapshot_path",
+    "next_snapshot_path",
+    "render_trace_diff",
+    "run_bench",
+    "snapshot_paths",
+    "validate_snapshot",
     "CONFIDENCE_CAP",
     "Histogram",
     "KIND_EVENT",

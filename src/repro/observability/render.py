@@ -115,24 +115,34 @@ def render_trace(records: Sequence[TraceRecord], title: str = "convergence trace
     return "\n".join(lines)
 
 
-def render_profile(records: Sequence[TraceRecord], title: str = "compile-time profile") -> str:
+def render_profile(
+    records: Sequence[TraceRecord],
+    title: str = "compile-time profile",
+    wall_seconds: Optional[float] = None,
+) -> str:
     """Where the compile time went: per-phase breakdown table.
 
-    Spans are grouped by name; the share column is computed against the
-    total wall time of top-level (depth-0) spans, so nested phases
-    (passes inside ``converge``) show their contribution without the
-    percentages pretending to sum to 100.
+    Spans are grouped by name.  The accounting is exhaustive: the share
+    column of **top-level** (depth-0) phase groups — scheduling *and*
+    simulation — plus the residual ``other`` row always sums to 100% of
+    the wall time.  Nested phases (passes inside ``converge``) are
+    already counted inside their parent, so their share is shown in
+    parentheses and excluded from the 100% budget.
 
     Args:
         records: Trace records from one or more runs.
         title: Heading line for the table.
+        wall_seconds: Measured wall time of the whole profiled block;
+            when given, time spent outside any span becomes the
+            ``other`` row.  Defaults to the summed top-level span time.
 
     Returns:
         The rendered breakdown table with a top-level total footer.
     """
     totals: Dict[str, List[float]] = {}
+    top_seconds: Dict[str, float] = {}
     order: List[str] = []
-    wall = 0.0
+    span_total = 0.0
     for r in records:
         if r.kind != KIND_SPAN:
             continue
@@ -142,20 +152,38 @@ def render_profile(records: Sequence[TraceRecord], title: str = "compile-time pr
         totals[r.name][0] += 1
         totals[r.name][1] += r.duration_s or 0.0
         if r.depth == 0:
-            wall += r.duration_s or 0.0
+            top_seconds[r.name] = top_seconds.get(r.name, 0.0) + (r.duration_s or 0.0)
+            span_total += r.duration_s or 0.0
+    wall = span_total
+    if wall_seconds is not None and wall_seconds > 0:
+        wall = max(wall_seconds, span_total)
+    other = wall - span_total
     rows = []
     for name in sorted(order, key=lambda n: -totals[n][1]):
         calls, seconds = totals[name]
+        if wall <= 0:
+            share = "-"
+        elif name in top_seconds:
+            share = f"{100 * top_seconds[name] / wall:.1f}%"
+        else:
+            share = f"({100 * seconds / wall:.1f}%)"
         rows.append(
             [
                 name,
                 int(calls),
                 f"{seconds * 1000:.2f}",
                 f"{seconds / calls * 1000:.3f}",
-                f"{100 * seconds / wall:.1f}%" if wall > 0 else "-",
+                share,
             ]
+        )
+    if other > 0 and wall > 0:
+        rows.append(
+            ["other", "-", f"{other * 1000:.2f}", "-", f"{100 * other / wall:.1f}%"]
         )
     table = _format_table(
         ["phase", "calls", "total ms", "mean ms", "share"], rows, title=title
     )
-    return table + f"\n{'total (top-level)':<12}  {wall * 1000:.2f} ms"
+    footer = f"\n{'total (top-level)':<12}  {span_total * 1000:.2f} ms"
+    if other > 0:
+        footer += f"\n{'total (wall)':<12}  {wall * 1000:.2f} ms"
+    return table + footer

@@ -63,6 +63,17 @@ class SimulationReport:
         capacity = sum(c.issue_width for c in machine.clusters) * self.cycles
         return sum(self.cluster_busy.values()) / capacity if capacity else 0.0
 
+    @property
+    def comm_busy_total(self) -> int:
+        """Total busy communication-resource cycles across the schedule.
+
+        The sum over :attr:`resource_busy` — a scalar congestion figure
+        the benchmark harness records per region alongside the transfer
+        count (transfers say *how many* values moved; this says how much
+        network capacity moving them consumed).
+        """
+        return sum(self.resource_busy.values())
+
     def hottest_resource(self) -> Optional[Tuple[object, int]]:
         """The busiest communication resource and its busy-cycle count,
         or ``None`` when the schedule has no transfers."""

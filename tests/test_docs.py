@@ -34,7 +34,8 @@ class TestDocumentsExist:
     @pytest.mark.parametrize(
         "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/passes.md", "docs/machines.md",
-                 "docs/architecture.md", "docs/observability.md"]
+                 "docs/architecture.md", "docs/observability.md",
+                 "docs/benchmarking.md"]
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -84,6 +85,19 @@ class TestDocumentsExist:
                        "JSONL"):
             assert needle in text, f"docs/observability.md missing {needle!r}"
 
+    def test_benchmarking_doc_covers_schema_and_policy(self):
+        text = (ROOT / "docs" / "benchmarking.md").read_text()
+        for needle in ("repro bench", "BENCH_", "schema_version",
+                       "--against-latest", "--compare", "regressed",
+                       "timing_noisy", "trace --diff",
+                       "check_bench_schema"):
+            assert needle in text, f"docs/benchmarking.md missing {needle!r}"
+
+    def test_readme_tracks_performance(self):
+        text = (ROOT / "README.md").read_text()
+        assert "Tracking performance" in text
+        assert "docs/benchmarking.md" in text
+
     def test_architecture_doc_maps_every_package(self):
         text = (ROOT / "docs" / "architecture.md").read_text()
         packages = [
@@ -113,6 +127,10 @@ class TestAudits:
 
     def test_link_audit_passes(self):
         proc = self._run("check_links.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_bench_schema_audit_passes(self):
+        proc = self._run("check_bench_schema.py")
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
