@@ -11,12 +11,23 @@ demonstrates that
 * every degradation is **recorded** in the trace / result status;
 * with no faults injected, the guarded pipeline is **cycle-for-cycle
   identical** to unguarded scheduling on the benchmark suites.
+
+The differential oracle (``repro.verify`` vs ``repro.sim``) rides the
+same campaign scale: 120 deliberately corrupted schedules must each be
+flagged by the static verifier with the exact codes the corruption was
+built to trigger, with zero false positives on the clean baselines, and
+every chaos-recovered schedule must additionally pass the static
+verifier when the campaign is gated with ``verify=True``.
 """
 
 import pytest
 
 from repro.core import ConvergentScheduler
-from repro.faults import FAULT_REGISTRY, run_campaign
+from repro.faults import (
+    FAULT_REGISTRY,
+    run_campaign,
+    run_differential_campaign,
+)
 from repro.harness import run_program
 from repro.machine import ClusteredVLIW, raw_with_tiles
 from repro.workloads import RAW_SUITE, VLIW_SUITE, build_benchmark
@@ -83,6 +94,68 @@ def test_degradations_are_recorded(reports):
                 assert outcome.fallback_level > 0
                 fallbacks += 1
     assert rollbacks > 0 and fallbacks > 0
+
+
+@pytest.fixture(scope="module")
+def differential_reports():
+    """120 corrupted schedules across both machine families (seed 2002)."""
+    return [
+        (factory(), run_differential_campaign(
+            factory(), suite_regions(factory(), suite),
+            n_trials=trials, seed=2002))
+        for factory, suite, trials in CAMPAIGNS
+    ]
+
+
+def test_differential_report(differential_reports):
+    body = "\n\n".join(r.render() for _, r in differential_reports)
+    print_report("Differential campaign (static verifier vs corruptions)", body)
+    assert sum(r.n_trials for _, r in differential_reports) >= 100
+
+
+def test_every_corruption_is_flagged(differential_reports):
+    """Acceptance: 100% of the 120 corrupted schedules produce at least
+    one ERROR diagnostic — including a code the corruption was built to
+    trigger — and the clean baselines produce none (zero false
+    positives)."""
+    for machine, report in differential_reports:
+        assert not report.false_positives, (
+            f"{machine.name} false positives: {report.false_positives}"
+        )
+        assert not report.missed, f"{machine.name}:\n{report.render()}"
+        for trial in report.trials:
+            assert trial.flagged and trial.expected_hit
+
+
+def test_simulator_mostly_agrees_with_verifier(differential_reports):
+    """Cross-check: dynamic replay independently rejects the vast
+    majority of corrupted schedules (a few corruption shapes are only
+    visible statically)."""
+    total = agree = 0
+    for _, report in differential_reports:
+        total += report.n_trials
+        agree += report.n_sim_agree
+    assert agree >= 0.9 * total, f"simulator agreed on only {agree}/{total}"
+
+
+def test_chaos_recovered_schedules_pass_static_verifier():
+    """Every schedule that survives a chaos-pass injection — whether by
+    guard rollback or chain fallback — is provably legal, not just
+    simulator-accepted."""
+    for factory, suite, trials in CAMPAIGNS:
+        machine = factory()
+        report = run_campaign(
+            machine,
+            suite_regions(machine, suite),
+            n_trials=max(10, trials // 5),
+            seed=2002,
+            verify=True,
+        )
+        assert report.ok, f"{machine.name}:\n{report.render()}"
+        for outcome in report.outcomes:
+            assert outcome.result.verified is True, (
+                f"{machine.name} trial {outcome.trial} not statically verified"
+            )
 
 
 def test_guard_is_behavior_neutral_without_faults():

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Audit the diagnostic-code registry against docs and checker sources.
+
+Three invariants keep ``DIAGNOSTIC_CODES``, ``docs/verification.md``,
+and the checkers in :mod:`repro.verify` telling the same story:
+
+1. every registered code is documented in ``docs/verification.md``
+   (with its severity);
+2. every registered code is actually emitted somewhere in the
+   ``src/repro`` sources — a registered-but-dead code is a lie;
+3. the documentation names no code the registry does not define.
+
+Run from the repo root with ``PYTHONPATH=src``; exits nonzero with one
+line per violation.  Registered by ``tests/test_docs.py`` and the
+``verify`` CI job.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.verify.diagnostics import DIAGNOSTIC_CODES  # noqa: E402
+
+#: Anything that looks like a diagnostic code, in docs or source.
+CODE_RE = re.compile(r"\bV\d{3}\b")
+
+
+def emitted_codes(src_root: Path) -> set:
+    """Every code literal appearing in the ``src/repro`` sources.
+
+    Returns:
+        The set of ``V###`` strings found in any ``.py`` file under
+        ``src_root``.
+    """
+    found = set()
+    for path in sorted(src_root.rglob("*.py")):
+        found.update(CODE_RE.findall(path.read_text()))
+    return found
+
+
+def main() -> int:
+    """Run the audit.
+
+    Returns:
+        ``0`` when registry, docs, and sources agree; ``1`` otherwise.
+    """
+    problems = []
+    doc_path = ROOT / "docs" / "verification.md"
+    doc_text = doc_path.read_text()
+    documented = set(CODE_RE.findall(doc_text))
+    registered = set(DIAGNOSTIC_CODES)
+    emitted = emitted_codes(ROOT / "src" / "repro")
+
+    for code in sorted(registered - documented):
+        problems.append(f"{code}: registered but not documented in docs/verification.md")
+    for code in sorted(documented - registered):
+        problems.append(f"{code}: documented but not in DIAGNOSTIC_CODES")
+    for code in sorted(registered - emitted):
+        problems.append(f"{code}: registered but never emitted under src/repro")
+    for code in sorted((emitted - registered)):
+        problems.append(f"{code}: emitted in src/repro but not registered")
+
+    for code, spec in sorted(DIAGNOSTIC_CODES.items()):
+        row = re.search(rf"\| `{code}` \| (\w+) \|", doc_text)
+        if row and row.group(1).lower() != spec.severity:
+            problems.append(
+                f"{code}: documented as {row.group(1)} but registered "
+                f"as {spec.severity.upper()}"
+            )
+
+    if problems:
+        print(f"check_diag_codes: {len(problems)} problem(s)")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(
+        f"check_diag_codes: {len(registered)} codes registered, "
+        f"documented, and emitted — registry, docs, and sources agree"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,11 @@
 * ``search`` — hill-climb a pass sequence for a machine on a training
   set;
 * ``faults`` — seeded fault-injection campaign demonstrating the
-  guarded pipeline's graceful degradation.
+  guarded pipeline's graceful degradation;
+* ``verify`` — static legality verification: sweep schedulers ×
+  benchmarks × machines through :mod:`repro.verify`, analyze pass
+  contracts, and run differential (corrupted-schedule) campaigns;
+  exits nonzero on any ERROR diagnostic.
 """
 
 from __future__ import annotations
@@ -58,28 +62,14 @@ from .observability import (
     run_bench,
     tracing,
 )
-from .schedulers import (
-    CarsScheduler,
-    FallbackChain,
-    SimulatedAnnealingScheduler,
-    PartialComponentClustering,
-    RawccScheduler,
-    SingleClusterScheduler,
-    UnifiedAssignAndSchedule,
-)
 from .sim import simulate
+from .verify import scheduler_registry
 from .workloads import KERNELS, RAW_SUITE, VLIW_SUITE, build_benchmark
 
-SCHEDULERS = {
-    "anneal": SimulatedAnnealingScheduler,
-    "cars": CarsScheduler,
-    "convergent": ConvergentScheduler,
-    "fallback": FallbackChain,
-    "uas": UnifiedAssignAndSchedule,
-    "pcc": PartialComponentClustering,
-    "rawcc": RawccScheduler,
-    "single": SingleClusterScheduler,
-}
+#: Scheduler name -> constructor; the verification sweep's registry is
+#: the single source of truth, so ``repro verify`` and ``repro
+#: schedule`` can never disagree about what exists.
+SCHEDULERS = scheduler_registry()
 
 
 def parse_machine(spec: str) -> Machine:
@@ -200,6 +190,112 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Static verification: sweep, pass contracts, differential campaign."""
+    import json
+
+    from .verify import run_sweep, verify_pass_contracts
+
+    exit_code = 0
+    payload: dict = {}
+
+    if not args.skip_sweep:
+        machines = (
+            [parse_machine(s) for s in _split(args.machines)]
+            if args.machines
+            else None
+        )
+        benchmarks = _split(args.benchmarks)
+        if benchmarks is None and args.quick:
+            benchmarks = ["vvmul", "fir"]
+        report = run_sweep(
+            machines=machines,
+            benchmarks=benchmarks,
+            schedulers=_split(args.schedulers),
+        )
+        print(report.render())
+        payload["sweep"] = [
+            {
+                "machine": c.machine,
+                "benchmark": c.benchmark,
+                "region": c.region,
+                "scheduler": c.scheduler,
+                "status": c.status,
+                "codes": c.report.codes() if c.report else [],
+                "detail": c.detail,
+            }
+            for c in report.cells
+        ]
+        if not report.ok:
+            exit_code = 1
+
+    if args.contracts:
+        reports = verify_pass_contracts(seed=args.seed)
+        bad = {name: r for name, r in reports.items() if not r.ok}
+        print(
+            f"pass contracts: {len(reports)} passes analyzed, "
+            f"{len(bad)} violating"
+        )
+        for rep in bad.values():
+            print(rep.render())
+        payload["contracts"] = {n: r.to_dict() for n, r in reports.items()}
+        if bad:
+            exit_code = 1
+
+    if args.differential:
+        from .faults import run_differential_campaign
+
+        machines = (
+            [parse_machine(s) for s in _split(args.machines)]
+            if args.machines
+            else [ClusteredVLIW(4), RawMachine(4, 4)]
+        )
+        payload["differential"] = []
+        for machine in machines:
+            suite = _split(args.benchmarks)
+            if suite is None:
+                suite = (
+                    ["vvmul", "mxm"]
+                    if args.quick
+                    else list(
+                        RAW_SUITE
+                        if machine.name.startswith("raw")
+                        else VLIW_SUITE
+                    )
+                )
+            regions = [
+                region
+                for name in suite
+                for region in build_benchmark(name, machine).regions
+            ]
+            diff = run_differential_campaign(
+                machine, regions, n_trials=args.differential, seed=args.seed
+            )
+            print(diff.render())
+            payload["differential"].append(
+                {
+                    "machine": diff.machine_name,
+                    "seed": diff.seed,
+                    "ok": diff.ok,
+                    "n_clean": diff.n_clean,
+                    "n_trials": diff.n_trials,
+                    "n_sim_agree": diff.n_sim_agree,
+                    "false_positives": list(diff.false_positives),
+                    "missed": [
+                        {"trial": t.trial, "kind": t.kind, "codes": t.codes}
+                        for t in diff.missed
+                    ],
+                }
+            )
+            if not diff.ok:
+                exit_code = 1
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"verification results written to {args.json}")
+    return exit_code
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -540,6 +636,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of trials with the pass guard enabled",
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="static legality verification (exit 1 on any ERROR diagnostic)",
+    )
+    verify.add_argument("--machines", help="comma-separated machine specs")
+    verify.add_argument("--benchmarks", help="comma-separated subset")
+    verify.add_argument("--schedulers", help="comma-separated scheduler subset")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--quick", action="store_true",
+        help="small benchmark subset for pre-commit / CI gating",
+    )
+    verify.add_argument(
+        "--skip-sweep", action="store_true",
+        help="skip the scheduler x benchmark sweep",
+    )
+    verify.add_argument(
+        "--contracts", action="store_true",
+        help="also analyze every registered pass against its contracts",
+    )
+    verify.add_argument(
+        "--differential", type=int, default=0, metavar="N",
+        help="also corrupt N known-good schedules per machine and demand "
+             "the verifier flags every one",
+    )
+    verify.add_argument("--json", help="write all results as JSON to this path")
+
     search = sub.add_parser("search", help="hill-climb a pass sequence")
     search.add_argument("--machine", default="vliw4")
     search.add_argument("--benchmarks")
@@ -562,6 +685,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "search": _cmd_search,
     "trace": _cmd_trace,
+    "verify": _cmd_verify,
 }
 
 

@@ -14,12 +14,39 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
 from ...ir.ddg import DataDependenceGraph
 from ...machine.machine import Machine
 from ..weights import PreferenceMatrix
+
+#: Contracts every registered pass must honor.  The pass-contract
+#: analyzer (:mod:`repro.verify.contracts`) exercises each declared
+#: contract against fixture matrices:
+#:
+#: * ``finite`` — no NaN or infinite weight is ever produced;
+#: * ``nonnegative`` — no weight ever goes below zero;
+#: * ``normalizable`` — no instruction row is left all-zero, so the
+#:   driver's :meth:`~repro.core.weights.PreferenceMatrix.normalize`
+#:   never has to resurrect a row;
+#: * ``deterministic`` — identical inputs and RNG seed give identical
+#:   outputs;
+#: * ``readonly_ddg`` — the dependence graph is never mutated.
+BASE_CONTRACTS: Tuple[str, ...] = (
+    "finite",
+    "nonnegative",
+    "normalizable",
+    "deterministic",
+    "readonly_ddg",
+)
+
+#: Opt-in contract for passes that only ever multiply, divide, or zero
+#: weights: entries squashed to zero (infeasible slots/clusters) stay
+#: zero.  Passes that blend rows together (PATHPROP) or rebuild a row
+#: from neighbour marginals (COMM) cannot promise this.
+RESPECTS_SQUASHED: Tuple[str, ...] = BASE_CONTRACTS + ("respects_squashed",)
 
 
 @dataclass
@@ -45,6 +72,10 @@ class SchedulingPass(abc.ABC):
 
     #: Short upper-case name, as used in the paper's Table 1.
     name: str = "PASS"
+
+    #: Behavioral contracts this pass declares; checked by the
+    #: pass-contract analyzer in :mod:`repro.verify.contracts`.
+    contracts: Tuple[str, ...] = BASE_CONTRACTS
 
     @abc.abstractmethod
     def apply(self, ctx: PassContext) -> None:

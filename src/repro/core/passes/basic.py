@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ...ir.opcode import FuncClass
 from ...schedulers.list_scheduler import feasible_clusters
-from .base import PassContext, SchedulingPass
+from .base import RESPECTS_SQUASHED, PassContext, SchedulingPass
 
 
 class InitTime(SchedulingPass):
@@ -25,6 +25,7 @@ class InitTime(SchedulingPass):
     """
 
     name = "INITTIME"
+    contracts = RESPECTS_SQUASHED
 
     def apply(self, ctx: PassContext) -> None:
         est = ctx.ddg.earliest_start()
@@ -57,6 +58,7 @@ class Noise(SchedulingPass):
     """
 
     name = "NOISE"
+    contracts = RESPECTS_SQUASHED
 
     def __init__(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -84,6 +86,7 @@ class Place(SchedulingPass):
     """
 
     name = "PLACE"
+    contracts = RESPECTS_SQUASHED
 
     def __init__(self, boost: float = 100.0) -> None:
         self.boost = boost
@@ -104,6 +107,7 @@ class First(SchedulingPass):
     """
 
     name = "FIRST"
+    contracts = RESPECTS_SQUASHED
 
     def __init__(self, boost: float = 1.2) -> None:
         self.boost = boost
@@ -123,6 +127,7 @@ class EmphasizeCriticalPathDistance(SchedulingPass):
     """
 
     name = "EMPHCP"
+    contracts = RESPECTS_SQUASHED
 
     def __init__(self, boost: float = 1.2) -> None:
         self.boost = boost

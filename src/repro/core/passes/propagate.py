@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from .base import PassContext, SchedulingPass
+from .base import RESPECTS_SQUASHED, PassContext, SchedulingPass
 
 
 class LevelDistribute(SchedulingPass):
@@ -38,6 +38,7 @@ class LevelDistribute(SchedulingPass):
     """
 
     name = "LEVEL"
+    contracts = RESPECTS_SQUASHED
 
     def __init__(
         self,

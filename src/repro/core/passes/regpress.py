@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import PassContext, SchedulingPass
+from .base import RESPECTS_SQUASHED, PassContext, SchedulingPass
 
 
 class RegisterPressure(SchedulingPass):
@@ -34,6 +34,7 @@ class RegisterPressure(SchedulingPass):
     """
 
     name = "REGPRESS"
+    contracts = RESPECTS_SQUASHED
 
     def __init__(self, strength: float = 1.0) -> None:
         if strength < 0:

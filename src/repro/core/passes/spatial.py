@@ -12,7 +12,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .base import PassContext, SchedulingPass, expected_cluster_load
+from .base import (
+    RESPECTS_SQUASHED,
+    PassContext,
+    SchedulingPass,
+    expected_cluster_load,
+)
 
 
 class CriticalPathStrengthen(SchedulingPass):
@@ -37,6 +42,7 @@ class CriticalPathStrengthen(SchedulingPass):
     """
 
     name = "PATH"
+    contracts = RESPECTS_SQUASHED
 
     def __init__(
         self, boost: float = 3.0, bias_ratio: float = 1.2, paths: int = 1
@@ -199,6 +205,7 @@ class PreplacementPropagate(SchedulingPass):
     """
 
     name = "PLACEPROP"
+    contracts = RESPECTS_SQUASHED
 
     def apply(self, ctx: PassContext) -> None:
         preplaced = ctx.ddg.preplaced()
@@ -234,6 +241,7 @@ class LoadBalance(SchedulingPass):
     """
 
     name = "LOAD"
+    contracts = RESPECTS_SQUASHED
 
     def __init__(self, epsilon: float = 0.5) -> None:
         self.epsilon = epsilon

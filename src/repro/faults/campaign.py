@@ -122,6 +122,7 @@ def run_campaign(
     guarded_fraction: float = 0.75,
     fault_kinds: Optional[Sequence[str]] = None,
     check_values: bool = False,
+    verify: bool = False,
 ) -> CampaignReport:
     """Inject ``n_trials`` faults and report how each was survived.
 
@@ -136,6 +137,10 @@ def run_campaign(
         fault_kinds: Subset of :data:`~repro.faults.chaos.FAULT_REGISTRY`
             keys; default all.
         check_values: Full dataflow replay during validation (slower).
+        verify: Also gate every surviving schedule on the static
+            verifier (:mod:`repro.verify`) via the harness, so a trial
+            only counts as survived if its recovered schedule is
+            *provably* legal, not just simulator-accepted.
     """
     if not regions:
         raise ValueError("campaign needs at least one region")
@@ -165,7 +170,12 @@ def run_campaign(
             check_values=check_values,
         )
         result = run_region(
-            region, machine, chain, check_values=check_values, capture_errors=True
+            region,
+            machine,
+            chain,
+            check_values=check_values,
+            capture_errors=True,
+            verify=verify,
         )
 
         trace = convergent.last_result.trace if convergent.last_result else None

@@ -12,7 +12,7 @@ instead of aborting on its first bad region.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..ir.regions import Program, Region
@@ -42,6 +42,11 @@ class RegionResult:
         comm_busy: Busy communication-resource cycles of the verified
             schedule (:attr:`repro.sim.simulator.SimulationReport.
             comm_busy_total`); 0 when the region failed.
+        verified: Static-verifier verdict when the run was gated with
+            ``verify=True`` (``None`` when verification was not
+            requested or never reached).
+        diagnostics: Rendered verifier diagnostics (warnings on a clean
+            run, everything on a failed one); empty when ungated.
     """
 
     region_name: str
@@ -53,6 +58,8 @@ class RegionResult:
     comm_busy: int = 0
     status: str = STATUS_OK
     error: Optional[str] = None
+    verified: Optional[bool] = None
+    diagnostics: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -131,6 +138,7 @@ def run_region(
     check_values: bool = True,
     capture_errors: bool = False,
     registry: Optional[MetricsRegistry] = None,
+    verify: bool = False,
 ) -> RegionResult:
     """Schedule one region, validate it, and report verified cycles.
 
@@ -146,12 +154,19 @@ def run_region(
             counters (``regions.ok`` / ``regions.failed``, guard
             interventions) and histograms (compile seconds, cycles,
             transfers, utilization) are recorded into it.
+        verify: Additionally run the static verifier
+            (:func:`repro.verify.verify_ddg` +
+            :func:`repro.verify.verify_schedule`) on the schedule; an
+            ERROR diagnostic fails the region exactly like a simulator
+            rejection, and the verdict lands on ``result.verified``.
 
     Returns:
         The :class:`RegionResult`; its ``cycles`` come from the
         simulator, never the scheduler.
     """
-    result = _run_region(region, machine, scheduler, check_values, capture_errors)
+    result = _run_region(
+        region, machine, scheduler, check_values, capture_errors, verify
+    )
     if registry is not None:
         _record_region_metrics(registry, result, scheduler)
     return result
@@ -163,15 +178,28 @@ def _run_region(
     scheduler: Scheduler,
     check_values: bool,
     capture_errors: bool,
+    verify: bool = False,
 ) -> RegionResult:
     """Schedule + validate one region (no metrics bookkeeping)."""
     started = time.perf_counter()
+    verified: Optional[bool] = None
+    diagnostics: List[str] = []
     try:
         schedule = scheduler.schedule(region, machine)
         elapsed = time.perf_counter() - started
         report: SimulationReport = simulate(
             region, machine, schedule, strict=True, check_values=check_values
         )
+        if verify:
+            from ..verify import VerificationError, verify_ddg, verify_schedule
+
+            vreport = verify_ddg(region.ddg, machine, subject=region.name)
+            vreport.merge(verify_schedule(region, machine, schedule))
+            vreport.subject = f"{region.name} on {machine.name}"
+            diagnostics = [d.render() for d in vreport.diagnostics]
+            verified = vreport.ok
+            if not vreport.ok:
+                raise VerificationError(vreport)
     except Exception as exc:  # noqa: BLE001 - harness boundary
         if not capture_errors:
             raise
@@ -184,6 +212,8 @@ def _run_region(
             n_instructions=len(region.ddg),
             status=STATUS_FAILED,
             error=f"{type(exc).__name__}: {exc}",
+            verified=verified,
+            diagnostics=diagnostics,
         )
     return RegionResult(
         region_name=region.name,
@@ -193,6 +223,8 @@ def _run_region(
         compile_seconds=elapsed,
         n_instructions=len(region.ddg),
         comm_busy=report.comm_busy_total,
+        verified=verified,
+        diagnostics=diagnostics,
     )
 
 
@@ -225,6 +257,7 @@ def run_program(
     check_values: bool = True,
     capture_errors: bool = True,
     registry: Optional[MetricsRegistry] = None,
+    verify: bool = False,
 ) -> ProgramResult:
     """Schedule every region of ``program``; weight cycles by trip count.
 
@@ -244,6 +277,8 @@ def run_program(
             MetricsRegistry`; when given, per-region counters and
             histograms are recorded and the registry's snapshot is
             attached as ``ProgramResult.metrics``.
+        verify: Gate every region on the static verifier in addition to
+            the simulator (see :func:`run_region`).
 
     Returns:
         The aggregated :class:`ProgramResult`.
@@ -260,6 +295,7 @@ def run_program(
             check_values=check_values,
             capture_errors=capture_errors,
             registry=registry,
+            verify=verify,
         )
         region_results.append(result)
         total_cycles += result.cycles * region.trip_count

@@ -48,6 +48,8 @@ def program_result_to_dict(result: ProgramResult) -> Dict:
                 "comm_busy": r.comm_busy,
                 "status": r.status,
                 "error": r.error,
+                "verified": r.verified,
+                "diagnostics": list(r.diagnostics),
             }
             for r in result.regions
         ],
@@ -69,6 +71,8 @@ def program_result_from_dict(data: Dict) -> ProgramResult:
             comm_busy=int(r.get("comm_busy", 0)),
             status=r.get("status", "ok"),
             error=r.get("error"),
+            verified=r.get("verified"),
+            diagnostics=list(r.get("diagnostics", [])),
         )
         for r in data["regions"]
     ]

@@ -1,0 +1,286 @@
+"""The pass-contract analyzer (``V4xx``).
+
+Every :class:`~repro.core.passes.SchedulingPass` declares behavioral
+contracts (:data:`~repro.core.passes.base.BASE_CONTRACTS`, optionally
+``respects_squashed``).  This module *checks* those declarations: each
+pass is run against fixture matrices built from real benchmark regions,
+and every declared contract is exercised —
+
+* ``finite`` / ``nonnegative`` / ``normalizable``: the matrix is healthy
+  after ``apply`` (no NaN/inf, no negative weight, no all-zero row);
+* ``deterministic``: two runs from identical state with identically
+  seeded generators produce bit-identical weights;
+* ``readonly_ddg``: the dependence graph is structurally unchanged;
+* ``respects_squashed``: entries squashed to zero before the pass are
+  still zero afterwards, including after renormalization.
+
+The analyzer is how the chaos passes of :mod:`repro.faults.chaos` are
+provably *bad*: run through :func:`analyze_pass` they earn V401/V402/
+V403/V405 diagnostics, while all twelve registered passes come out
+clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.passes import PASS_REGISTRY, PassContext, SchedulingPass
+from ..core.passes.basic import InitTime
+from ..core.weights import PreferenceMatrix
+from ..ir.ddg import DataDependenceGraph
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from .diagnostics import VerificationReport
+
+
+@dataclass
+class ContractFixture:
+    """One (region, machine) pair a pass is exercised against.
+
+    Attributes:
+        name: Label used in diagnostics, e.g. ``"vvmul/raw2x2"``.
+        region: The scheduling region supplying the dependence graph.
+        machine: The machine model bound to the fixture.
+    """
+
+    name: str
+    region: Region
+    machine: Machine
+
+
+def default_fixtures() -> List[ContractFixture]:
+    """Fixtures covering both machine families with small real kernels.
+
+    Returns:
+        One VLIW and one Raw fixture, each a single-region benchmark
+        small enough that the full analyzer stays fast.
+    """
+    from ..machine import ClusteredVLIW, raw_with_tiles
+    from ..workloads import build_benchmark
+
+    fixtures = []
+    for machine in (ClusteredVLIW(4), raw_with_tiles(4)):
+        program = build_benchmark("vvmul", machine)
+        fixtures.append(
+            ContractFixture(
+                name=f"vvmul/{machine.name}",
+                region=program.regions[0],
+                machine=machine,
+            )
+        )
+    return fixtures
+
+
+def _ddg_snapshot(ddg: DataDependenceGraph) -> Tuple:
+    """Structural fingerprint used by the ``readonly_ddg`` check."""
+    return (
+        len(ddg),
+        tuple((e.src, e.dst, e.latency, e.kind) for e in ddg.edges()),
+        tuple(
+            (i.uid, i.opcode, i.operands, i.home_cluster, i.bank) for i in ddg
+        ),
+    )
+
+
+def _preconditioned_matrix(
+    fixture: ContractFixture, seed: int
+) -> PreferenceMatrix:
+    """A realistic mid-pipeline matrix: uniform, then INITTIME-squashed."""
+    matrix = PreferenceMatrix.for_region(fixture.region.ddg, fixture.machine.n_clusters)
+    ctx = PassContext(
+        ddg=fixture.region.ddg,
+        machine=fixture.machine,
+        matrix=matrix,
+        rng=np.random.default_rng(seed),
+    )
+    InitTime().apply(ctx)
+    return matrix
+
+
+def _context(
+    fixture: ContractFixture, matrix: PreferenceMatrix, seed: int
+) -> PassContext:
+    """A pass context over ``fixture`` with a freshly seeded generator."""
+    return PassContext(
+        ddg=fixture.region.ddg,
+        machine=fixture.machine,
+        matrix=matrix,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def analyze_pass(
+    name: str,
+    factory: Callable[[], SchedulingPass],
+    fixtures: Optional[Sequence[ContractFixture]] = None,
+    seed: int = 0,
+) -> VerificationReport:
+    """Run one pass against the fixtures and check its declared contracts.
+
+    Args:
+        name: Label for the report (usually the pass's registry name).
+        factory: Zero-argument constructor for the pass under test.
+        fixtures: Fixture list; defaults to :func:`default_fixtures`.
+        seed: Seeds every generator handed to the pass.
+
+    Returns:
+        A report whose errors are the contract violations found.
+    """
+    report = VerificationReport(subject=name, checker="verify_pass_contracts")
+    fixtures = list(fixtures) if fixtures is not None else default_fixtures()
+    for fixture in fixtures:
+        _analyze_on_fixture(name, factory, fixture, seed, report)
+    return report
+
+
+def _analyze_on_fixture(
+    name: str,
+    factory: Callable[[], SchedulingPass],
+    fixture: ContractFixture,
+    seed: int,
+    report: VerificationReport,
+) -> None:
+    """All contract checks for one pass on one fixture."""
+    pass_a = factory()
+    declared = set(getattr(pass_a, "contracts", ()))
+    before_ddg = _ddg_snapshot(fixture.region.ddg)
+
+    matrix_a = _preconditioned_matrix(fixture, seed)
+    try:
+        pass_a.apply(_context(fixture, matrix_a, seed + 1))
+    except Exception as exc:  # noqa: BLE001 - the analyzer's whole job
+        report.add(
+            "V401",
+            f"{name} raised {type(exc).__name__} on {fixture.name}: {exc}",
+        )
+        return
+
+    _check_health(name, fixture, matrix_a, report)
+
+    if _ddg_snapshot(fixture.region.ddg) != before_ddg:
+        report.add(
+            "V407", f"{name} mutated the dependence graph of {fixture.name}"
+        )
+
+    # Determinism: a second run from identical state and seed.
+    matrix_b = _preconditioned_matrix(fixture, seed)
+    try:
+        factory().apply(_context(fixture, matrix_b, seed + 1))
+    except Exception:  # noqa: BLE001 - first run already succeeded
+        report.add(
+            "V406",
+            f"{name} raised on the replay run only ({fixture.name})",
+        )
+        return
+    if not np.array_equal(matrix_a.data, matrix_b.data, equal_nan=True):
+        worst = int(
+            np.argwhere(~np.isclose(matrix_a.data, matrix_b.data, equal_nan=True))[0][0]
+        )
+        report.add(
+            "V406",
+            f"{name} gave different weights on identical replays of "
+            f"{fixture.name} (first differing instruction {worst})",
+            uid=worst,
+        )
+
+    if "respects_squashed" in declared:
+        _check_respects_squashed(name, factory, fixture, seed, report)
+
+
+def _check_health(
+    name: str,
+    fixture: ContractFixture,
+    matrix: PreferenceMatrix,
+    report: VerificationReport,
+) -> None:
+    """finite / nonnegative / normalizable, straight off the raw weights."""
+    w = matrix.data
+    if np.isnan(w).any() or np.isinf(w).any():
+        bad = int(np.argwhere(~np.isfinite(w))[0][0])
+        report.add(
+            "V402",
+            f"{name} produced non-finite weights on {fixture.name} "
+            f"(instruction {bad})",
+            uid=bad,
+        )
+        return
+    if (w < 0.0).any():
+        bad = int(np.argwhere(w < 0.0)[0][0])
+        report.add(
+            "V403",
+            f"{name} produced negative weights on {fixture.name} "
+            f"(instruction {bad})",
+            uid=bad,
+        )
+    if matrix.n_instructions:
+        sums = w.sum(axis=(1, 2))
+        zero = np.flatnonzero(sums <= 0.0)
+        if zero.size:
+            report.add(
+                "V405",
+                f"{name} left instruction {int(zero[0])} of {fixture.name} "
+                "with an all-zero row",
+                uid=int(zero[0]),
+            )
+
+
+def _check_respects_squashed(
+    name: str,
+    factory: Callable[[], SchedulingPass],
+    fixture: ContractFixture,
+    seed: int,
+    report: VerificationReport,
+) -> None:
+    """Squash one extra entry per row; the pass must keep all zeros zero."""
+    matrix = _preconditioned_matrix(fixture, seed)
+    w = matrix.data
+    for i in range(matrix.n_instructions):
+        nonzero = np.argwhere(w[i] > 0.0)
+        if len(nonzero) >= 2:
+            c, t = (int(x) for x in nonzero[1])
+            w[i, c, t] = 0.0
+    matrix.touch()
+    matrix.normalize()
+    zero_mask = w == 0.0
+
+    try:
+        factory().apply(_context(fixture, matrix, seed + 2))
+    except Exception:  # noqa: BLE001 - already reported as V401 above
+        return
+    matrix.normalize()
+    resurrected = zero_mask & (matrix.data != 0.0)
+    if resurrected.any():
+        bad = int(np.argwhere(resurrected)[0][0])
+        report.add(
+            "V404",
+            f"{name} declares respects_squashed but resurrected zeroed "
+            f"entries of {fixture.name} (instruction {bad})",
+            uid=bad,
+        )
+
+
+def verify_pass_contracts(
+    names: Optional[Sequence[str]] = None,
+    fixtures: Optional[Sequence[ContractFixture]] = None,
+    seed: int = 0,
+) -> Dict[str, VerificationReport]:
+    """Analyze every registered pass (or a subset) against the fixtures.
+
+    Args:
+        names: Registry names to analyze; default all of
+            :data:`~repro.core.passes.PASS_REGISTRY`.
+        fixtures: Fixture list; defaults to :func:`default_fixtures`.
+        seed: Seeds every generator handed to the passes.
+
+    Returns:
+        Map of pass name to its contract report, in registry order.
+    """
+    fixtures = list(fixtures) if fixtures is not None else default_fixtures()
+    selected = list(names) if names is not None else list(PASS_REGISTRY)
+    reports = {}
+    for name in selected:
+        reports[name] = analyze_pass(name, PASS_REGISTRY[name], fixtures, seed)
+    return reports

@@ -1,0 +1,154 @@
+"""Static legality checks for dependence graphs (``V1xx``).
+
+:func:`verify_ddg` re-derives the structural invariants of a
+:class:`~repro.ir.ddg.DataDependenceGraph` from first principles —
+acyclicity via its own Kahn traversal, def-before-use from the operand
+lists, latency-table consistency from the graph's latency model — rather
+than reusing :meth:`~repro.ir.ddg.DataDependenceGraph.validate`, so the
+verifier and the IR layer fail independently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..ir.ddg import DataDependenceGraph
+from ..machine.machine import Machine
+from .diagnostics import VerificationReport
+
+
+def verify_ddg(
+    ddg: DataDependenceGraph,
+    machine: Optional[Machine] = None,
+    subject: str = "",
+) -> VerificationReport:
+    """Check one dependence graph; report V1xx diagnostics.
+
+    Args:
+        ddg: The graph to verify.
+        machine: Optional target machine; enables the machine-dependent
+            region checks (home-cluster range, hard bank affinity).
+        subject: Label for the report (defaults to the graph's name).
+
+    Returns:
+        A :class:`~repro.verify.diagnostics.VerificationReport`.
+    """
+    report = VerificationReport(
+        subject=subject or ddg.name or "ddg", checker="verify_ddg"
+    )
+    _check_acyclic(ddg, report)
+    _check_edges(ddg, report)
+    _check_operands(ddg, report)
+    if machine is not None:
+        _check_region_wellformed(ddg, machine, report)
+    return report
+
+
+def _check_acyclic(ddg: DataDependenceGraph, report: VerificationReport) -> None:
+    """Kahn's algorithm, independent of the graph's own topo sort."""
+    n = len(ddg)
+    indegree = [0] * n
+    for edge in ddg.edges():
+        indegree[edge.dst] += 1
+    queue = deque(u for u in range(n) if indegree[u] == 0)
+    visited = 0
+    while queue:
+        u = queue.popleft()
+        visited += 1
+        for edge in ddg.successors(u):
+            indegree[edge.dst] -= 1
+            if indegree[edge.dst] == 0:
+                queue.append(edge.dst)
+    if visited != n:
+        stuck = [u for u in range(n) if indegree[u] > 0]
+        report.add(
+            "V101",
+            f"{n - visited} instruction(s) unreachable by topological order "
+            f"(on a cycle: {stuck[:6]})",
+            uid=stuck[0] if stuck else None,
+        )
+
+
+def _check_edges(ddg: DataDependenceGraph, report: VerificationReport) -> None:
+    """Per-edge invariants: latency sign/consistency, kinds, self-loops."""
+    for edge in ddg.edges():
+        if edge.src == edge.dst:
+            report.add("V107", f"edge {edge.src}->{edge.dst} is a self-loop", uid=edge.src)
+        if edge.latency < 0:
+            report.add(
+                "V106",
+                f"edge {edge.src}->{edge.dst} has negative latency {edge.latency}",
+                uid=edge.src,
+            )
+        if edge.kind == "mem":
+            src, dst = ddg.instruction(edge.src), ddg.instruction(edge.dst)
+            if not (src.is_memory and dst.is_memory):
+                report.add(
+                    "V104",
+                    f"mem edge {edge.src}->{edge.dst} joins "
+                    f"{src.opcode.value} and {dst.opcode.value}",
+                    uid=edge.src,
+                )
+        if edge.kind == "data":
+            producer = ddg.instruction(edge.src)
+            expected = ddg.latency_model.latency(producer.opcode)
+            if edge.latency != expected:
+                report.add(
+                    "V105",
+                    f"data edge {edge.src}->{edge.dst} carries latency "
+                    f"{edge.latency}; the latency table says "
+                    f"{producer.opcode.value} takes {expected}",
+                    uid=edge.src,
+                )
+
+
+def _check_operands(ddg: DataDependenceGraph, report: VerificationReport) -> None:
+    """Def-before-use: every operand backed by a value-defining data edge."""
+    for inst in ddg:
+        data_preds = {e.src for e in ddg.predecessors(inst.uid) if e.kind == "data"}
+        for operand in inst.operands:
+            if operand not in data_preds:
+                report.add(
+                    "V102",
+                    f"{inst.label()} reads {operand} without a data edge from it",
+                    uid=inst.uid,
+                )
+            if not ddg.instruction(operand).defines_value:
+                report.add(
+                    "V103",
+                    f"{inst.label()} reads {operand} "
+                    f"({ddg.instruction(operand).opcode.value}), which defines no value",
+                    uid=inst.uid,
+                )
+
+
+def _check_region_wellformed(
+    ddg: DataDependenceGraph, machine: Machine, report: VerificationReport
+) -> None:
+    """Machine-dependent preplacement invariants."""
+    for inst in ddg:
+        home = inst.home_cluster
+        if home is not None and not 0 <= home < machine.n_clusters:
+            report.add(
+                "V108",
+                f"{inst.label()} preplaced on cluster {home}, machine has "
+                f"{machine.n_clusters}",
+                uid=inst.uid,
+                cluster=home,
+            )
+            continue
+        if (
+            home is not None
+            and inst.is_memory
+            and inst.bank is not None
+            and machine.memory_affinity == "hard"
+            and home != machine.bank_home(inst.bank)
+        ):
+            report.add(
+                "V109",
+                f"{inst.label()} touches bank {inst.bank} (home "
+                f"{machine.bank_home(inst.bank)}) but is preplaced on {home}",
+                uid=inst.uid,
+                cluster=home,
+            )

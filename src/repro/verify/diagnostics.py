@@ -1,0 +1,314 @@
+"""The structured diagnostic model of the verification subsystem.
+
+Every checker in :mod:`repro.verify` reports findings as
+:class:`Diagnostic` objects carrying a *stable* code (``V101`` ...), a
+severity, and an optional location (instruction uid, cluster, cycle).
+Codes are allocated once in :data:`DIAGNOSTIC_CODES` — the single source
+of truth that ``docs/verification.md`` and
+``scripts/check_diag_codes.py`` keep in sync — so tests, CI gates, and
+downstream tools can match on codes instead of message strings.
+
+A :class:`VerificationReport` aggregates the diagnostics of one checked
+artifact and renders as a table or round-trips through JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Severity of a diagnostic that makes the checked artifact illegal.
+ERROR = "error"
+#: Severity of a suspicious-but-legal finding.
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class DiagnosticSpec:
+    """Registry entry for one stable diagnostic code.
+
+    Attributes:
+        code: The stable identifier, e.g. ``"V206"``.
+        severity: :data:`ERROR` or :data:`WARNING`.
+        checker: Name of the checker that emits the code.
+        title: One-line description used in docs and reports.
+    """
+
+    code: str
+    severity: str
+    checker: str
+    title: str
+
+
+def _spec(code: str, severity: str, checker: str, title: str) -> DiagnosticSpec:
+    return DiagnosticSpec(code=code, severity=severity, checker=checker, title=title)
+
+
+#: Code -> spec for every diagnostic any checker can emit.  The V1xx
+#: block belongs to ``verify_ddg``, V2xx to ``verify_schedule``, V3xx to
+#: ``verify_matrix``, and V4xx to the pass-contract analyzer.
+DIAGNOSTIC_CODES: Dict[str, DiagnosticSpec] = {
+    s.code: s
+    for s in (
+        # ------------------------------------------------ DDG (V1xx)
+        _spec("V101", ERROR, "verify_ddg", "dependence graph contains a cycle"),
+        _spec("V102", ERROR, "verify_ddg", "operand read without a matching data edge"),
+        _spec("V103", ERROR, "verify_ddg", "operand reads an instruction that defines no value"),
+        _spec("V104", ERROR, "verify_ddg", "mem edge joins non-memory instructions"),
+        _spec("V105", WARNING, "verify_ddg",
+              "data-edge latency differs from the producer's opcode latency"),
+        _spec("V106", ERROR, "verify_ddg", "edge latency is negative"),
+        _spec("V107", ERROR, "verify_ddg", "instruction depends on itself"),
+        _spec("V108", ERROR, "verify_ddg", "preplaced home cluster is out of machine range"),
+        _spec("V109", ERROR, "verify_ddg",
+              "hard-affinity memory op preplaced away from its bank's home"),
+        # ------------------------------------------- schedule (V2xx)
+        _spec("V201", ERROR, "verify_schedule", "instruction missing from the schedule"),
+        _spec("V202", ERROR, "verify_schedule", "scheduled uid not present in the region"),
+        _spec("V203", ERROR, "verify_schedule", "instruction starts at a negative cycle"),
+        _spec("V204", ERROR, "verify_schedule", "instruction placed on an infeasible cluster"),
+        _spec("V205", ERROR, "verify_schedule",
+              "recorded latency disagrees with the machine model"),
+        _spec("V206", ERROR, "verify_schedule", "functional-unit slot double-booked"),
+        _spec("V207", ERROR, "verify_schedule", "invalid or incapable functional unit"),
+        _spec("V208", ERROR, "verify_schedule", "instruction starts before an operand arrives"),
+        _spec("V209", ERROR, "verify_schedule", "ordering-edge spacing violated"),
+        _spec("V210", ERROR, "verify_schedule", "value never reaches the consumer's cluster"),
+        _spec("V211", ERROR, "verify_schedule", "transfer issued before the value is ready"),
+        _spec("V212", ERROR, "verify_schedule",
+              "transfer leaves a cluster the value does not live on"),
+        _spec("V213", ERROR, "verify_schedule",
+              "transfer arrival disagrees with the communication latency"),
+        _spec("V214", ERROR, "verify_schedule", "transfer resources do not match the route"),
+        _spec("V215", ERROR, "verify_schedule", "communication-resource contention"),
+        _spec("V216", ERROR, "verify_schedule", "transfer moves an unscheduled value"),
+        _spec("V217", WARNING, "verify_schedule", "pseudo op occupies a functional unit"),
+        _spec("V218", WARNING, "verify_schedule",
+              "makespan disagrees with first-principles recomputation"),
+        # --------------------------------------------- matrix (V3xx)
+        _spec("V301", ERROR, "verify_matrix", "NaN preference weight"),
+        _spec("V302", ERROR, "verify_matrix", "infinite preference weight"),
+        _spec("V303", ERROR, "verify_matrix", "negative preference weight"),
+        _spec("V304", ERROR, "verify_matrix", "preference weight exceeds 1"),
+        _spec("V305", ERROR, "verify_matrix", "instruction weights do not sum to 1"),
+        _spec("V306", ERROR, "verify_matrix", "instruction row is all zero"),
+        _spec("V307", WARNING, "verify_matrix", "matrix shape disagrees with the region"),
+        # -------------------------------------- pass contracts (V4xx)
+        _spec("V401", ERROR, "verify_pass_contracts", "pass raised an exception"),
+        _spec("V402", ERROR, "verify_pass_contracts", "pass produced NaN or infinite weights"),
+        _spec("V403", ERROR, "verify_pass_contracts", "pass produced negative weights"),
+        _spec("V404", ERROR, "verify_pass_contracts",
+              "pass resurrected squashed (zero) entries it promised to respect"),
+        _spec("V405", ERROR, "verify_pass_contracts",
+              "pass left an instruction with no feasible slot (all-zero row)"),
+        _spec("V406", ERROR, "verify_pass_contracts", "pass is nondeterministic under a fixed seed"),
+        _spec("V407", ERROR, "verify_pass_contracts", "pass mutated the dependence graph"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a verification checker.
+
+    Attributes:
+        code: Stable code from :data:`DIAGNOSTIC_CODES`.
+        message: Human-readable detail for this occurrence.
+        uid: Instruction uid the finding is about, when applicable.
+        cluster: Cluster/tile index, when applicable.
+        cycle: Schedule cycle, when applicable.
+    """
+
+    code: str
+    message: str
+    uid: Optional[int] = None
+    cluster: Optional[int] = None
+    cycle: Optional[int] = None
+
+    @property
+    def spec(self) -> DiagnosticSpec:
+        """The registry entry for this diagnostic's code."""
+        return DIAGNOSTIC_CODES[self.code]
+
+    @property
+    def severity(self) -> str:
+        """:data:`ERROR` or :data:`WARNING`, from the code registry."""
+        return self.spec.severity
+
+    @property
+    def checker(self) -> str:
+        """Name of the checker that owns this code."""
+        return self.spec.checker
+
+    def location(self) -> str:
+        """Compact ``uid=.. cluster=.. cycle=..`` fragment (may be empty)."""
+        parts = []
+        if self.uid is not None:
+            parts.append(f"uid={self.uid}")
+        if self.cluster is not None:
+            parts.append(f"cluster={self.cluster}")
+        if self.cycle is not None:
+            parts.append(f"cycle={self.cycle}")
+        return " ".join(parts)
+
+    def render(self) -> str:
+        """One-line rendering: code, severity, location, message."""
+        loc = self.location()
+        return f"{self.code} {self.severity.upper():7s} {loc + ' ' if loc else ''}{self.message}"
+
+
+class VerificationError(RuntimeError):
+    """Raised when a gated run finds ERROR-severity diagnostics.
+
+    The harness (:func:`repro.harness.run_region` with ``verify=True``)
+    raises this so a schedule that simulates fine but fails static
+    verification is treated exactly like any other failed region.
+
+    Attributes:
+        report: The report whose errors triggered the exception.
+    """
+
+    def __init__(self, report: "VerificationReport") -> None:
+        """Build the exception from a failed report.
+
+        Args:
+            report: The report carrying at least one ERROR diagnostic.
+        """
+        self.report = report
+        codes = ", ".join(sorted({d.code for d in report.errors}))
+        super().__init__(
+            f"{report.subject}: {len(report.errors)} verifier error(s) [{codes}]"
+        )
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    uid: Optional[int] = None,
+    cluster: Optional[int] = None,
+    cycle: Optional[int] = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, validating the code against the registry.
+
+    Args:
+        code: A key of :data:`DIAGNOSTIC_CODES`.
+        message: Occurrence-specific detail.
+        uid: Instruction uid, when the finding is about one.
+        cluster: Cluster index, when applicable.
+        cycle: Schedule cycle, when applicable.
+
+    Returns:
+        The constructed diagnostic.
+
+    Raises:
+        KeyError: If ``code`` is not registered.
+    """
+    if code not in DIAGNOSTIC_CODES:
+        raise KeyError(f"unregistered diagnostic code {code!r}")
+    return Diagnostic(code=code, message=message, uid=uid, cluster=cluster, cycle=cycle)
+
+
+@dataclass
+class VerificationReport:
+    """All diagnostics for one checked artifact.
+
+    Attributes:
+        subject: What was checked, e.g. ``"mxm/body on raw4x4"``.
+        checker: The checker (or ``"verify"`` for merged reports).
+        diagnostics: Findings, in emission order.
+    """
+
+    subject: str
+    checker: str = "verify"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        uid: Optional[int] = None,
+        cluster: Optional[int] = None,
+        cycle: Optional[int] = None,
+    ) -> None:
+        """Append a diagnostic built by :func:`make_diagnostic`.
+
+        Args:
+            code: A key of :data:`DIAGNOSTIC_CODES`.
+            message: Occurrence-specific detail.
+            uid: Instruction uid, when applicable.
+            cluster: Cluster index, when applicable.
+            cycle: Schedule cycle, when applicable.
+        """
+        self.diagnostics.append(make_diagnostic(code, message, uid, cluster, cycle))
+
+    def merge(self, other: "VerificationReport") -> None:
+        """Fold ``other``'s diagnostics into this report."""
+        self.diagnostics.extend(other.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """The ERROR-severity diagnostics."""
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """The WARNING-severity diagnostics."""
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostic was reported."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        """The distinct diagnostic codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def render(self) -> str:
+        """Multi-line table: header plus one line per diagnostic."""
+        status = "OK" if self.ok else f"{len(self.errors)} error(s)"
+        if self.warnings:
+            status += f", {len(self.warnings)} warning(s)"
+        lines = [f"{self.checker}: {self.subject}: {status}"]
+        lines.extend("  " + d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe representation (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": "verification_report",
+            "subject": self.subject,
+            "checker": self.checker,
+            "ok": self.ok,
+            "diagnostics": [
+                {
+                    "code": d.code,
+                    "severity": d.severity,
+                    "message": d.message,
+                    "uid": d.uid,
+                    "cluster": d.cluster,
+                    "cycle": d.cycle,
+                }
+                for d in self.diagnostics
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "VerificationReport":
+        """Rebuild a report serialized by :meth:`to_dict`.
+
+        Args:
+            data: The dictionary produced by :meth:`to_dict`.
+
+        Returns:
+            The reconstructed report.
+
+        Raises:
+            ValueError: If ``data`` is not a serialized report.
+        """
+        if data.get("kind") != "verification_report":
+            raise ValueError("not a serialized verification report")
+        report = cls(subject=data["subject"], checker=data.get("checker", "verify"))
+        for d in data.get("diagnostics", []):
+            report.add(d["code"], d["message"], d.get("uid"), d.get("cluster"), d.get("cycle"))
+        return report

@@ -1,0 +1,97 @@
+"""Invariant checks for preference matrices (``V3xx``).
+
+:func:`verify_matrix` extends :meth:`PreferenceMatrix.check_invariants
+<repro.core.weights.PreferenceMatrix.check_invariants>` into the
+structured diagnostic model: instead of raising on the first violation
+it reports *every* violated invariant — NaN/inf entries, range breaks,
+denormalized or all-zero rows, and (optionally) a shape mismatch
+against the region's dependence graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.weights import PreferenceMatrix
+from ..ir.ddg import DataDependenceGraph
+from .diagnostics import VerificationReport
+
+
+def verify_matrix(
+    matrix: PreferenceMatrix,
+    ddg: Optional[DataDependenceGraph] = None,
+    check_normalization: bool = True,
+    tolerance: float = 1e-9,
+    sum_tolerance: float = 1e-6,
+    subject: str = "matrix",
+) -> VerificationReport:
+    """Check one preference matrix; report V3xx diagnostics.
+
+    Args:
+        matrix: The matrix to verify.
+        ddg: Optional region graph; enables the shape check (V307).
+        check_normalization: Verify the per-instruction sum-to-one
+            invariant; disable between passes, where the driver has not
+            normalized yet.
+        tolerance: Slack for the range invariants ``0 <= w <= 1``.
+        sum_tolerance: Absolute slack for the row-sum invariant.
+        subject: Label for the report.
+
+    Returns:
+        A :class:`~repro.verify.diagnostics.VerificationReport`.
+    """
+    report = VerificationReport(subject=subject, checker="verify_matrix")
+    w = matrix.data
+
+    nan_rows = np.unique(np.argwhere(np.isnan(w))[:, 0]) if w.size else []
+    for i in nan_rows:
+        report.add("V301", f"instruction {int(i)} has NaN weight(s)", uid=int(i))
+    inf_rows = np.unique(np.argwhere(np.isinf(w))[:, 0]) if w.size else []
+    for i in inf_rows:
+        report.add("V302", f"instruction {int(i)} has infinite weight(s)", uid=int(i))
+    neg_rows = np.unique(np.argwhere(w < -tolerance)[:, 0]) if w.size else []
+    for i in neg_rows:
+        worst = float(np.nanmin(w[int(i)]))
+        report.add(
+            "V303", f"instruction {int(i)} has negative weight {worst:.3g}", uid=int(i)
+        )
+    big_rows = np.unique(np.argwhere(w > 1.0 + tolerance)[:, 0]) if w.size else []
+    for i in big_rows:
+        worst = float(np.nanmax(w[int(i)]))
+        report.add(
+            "V304", f"instruction {int(i)} has weight {worst:.3g} > 1", uid=int(i)
+        )
+
+    if matrix.n_instructions:
+        with np.errstate(invalid="ignore"):
+            sums = w.sum(axis=(1, 2))
+        finite = np.isfinite(sums)
+        zero_rows = np.flatnonzero(finite & (sums <= 0.0))
+        for i in zero_rows:
+            report.add(
+                "V306",
+                f"instruction {int(i)} has an all-zero row "
+                "(no feasible (cluster, slot) left)",
+                uid=int(i),
+            )
+        if check_normalization:
+            off = np.flatnonzero(
+                finite & (np.abs(sums - 1.0) > sum_tolerance) & (sums > 0.0)
+            )
+            for i in off:
+                report.add(
+                    "V305",
+                    f"instruction {int(i)} weights sum to {sums[int(i)]:.6f}, "
+                    "expected 1",
+                    uid=int(i),
+                )
+
+    if ddg is not None and matrix.n_instructions != len(ddg):
+        report.add(
+            "V307",
+            f"matrix has {matrix.n_instructions} rows, region has "
+            f"{len(ddg)} instructions",
+        )
+    return report

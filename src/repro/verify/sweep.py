@@ -1,0 +1,231 @@
+"""Verification sweeps: every scheduler x benchmark x machine, proven legal.
+
+:func:`run_sweep` drives each registered scheduler over benchmark
+regions and verifies every produced schedule with
+:func:`~repro.verify.ddg_checks.verify_ddg` and
+:func:`~repro.verify.schedule_checks.verify_schedule`.  A scheduler may
+legitimately *decline* a region (``SchedulingError`` — e.g. the
+single-cluster baseline refusing a multi-tile Raw region with hard bank
+affinity); declined cells are recorded as skipped, not failed.
+
+:func:`scheduler_registry` is the sweep's (and the CLI's) single source
+of truth for the registered schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..machine.machine import Machine
+from ..schedulers.base import Scheduler
+from ..schedulers.list_scheduler import SchedulingError
+from .ddg_checks import verify_ddg
+from .diagnostics import VerificationReport
+from .schedule_checks import verify_schedule
+
+#: Cell verified clean (no ERROR diagnostics).
+CELL_VERIFIED = "verified"
+#: Scheduler declined the region with a SchedulingError.
+CELL_SKIPPED = "skipped"
+#: Verifier found ERROR diagnostics, or the scheduler crashed.
+CELL_ERROR = "error"
+
+
+def scheduler_registry() -> Dict[str, Callable[[], Scheduler]]:
+    """Name -> zero-argument constructor for every registered scheduler.
+
+    Returns:
+        The registry, in stable alphabetical order.  Imported lazily so
+        :mod:`repro.verify` does not pull every scheduler at import time.
+    """
+    from ..core import ConvergentScheduler
+    from ..schedulers import (
+        CarsScheduler,
+        FallbackChain,
+        PartialComponentClustering,
+        RawccScheduler,
+        SimulatedAnnealingScheduler,
+        SingleClusterScheduler,
+        UnifiedAssignAndSchedule,
+    )
+
+    return {
+        "anneal": SimulatedAnnealingScheduler,
+        "cars": CarsScheduler,
+        "convergent": ConvergentScheduler,
+        "fallback": FallbackChain,
+        "pcc": PartialComponentClustering,
+        "rawcc": RawccScheduler,
+        "single": SingleClusterScheduler,
+        "uas": UnifiedAssignAndSchedule,
+    }
+
+
+@dataclass
+class SweepCell:
+    """Outcome of verifying one (machine, benchmark, region, scheduler).
+
+    Attributes:
+        machine: Machine name.
+        benchmark: Benchmark name.
+        region: Region name.
+        scheduler: Scheduler registry name.
+        status: :data:`CELL_VERIFIED`, :data:`CELL_SKIPPED`, or
+            :data:`CELL_ERROR`.
+        report: The merged verification report (``None`` for skipped or
+            crashed cells).
+        detail: Decline/crash message for non-verified cells.
+    """
+
+    machine: str
+    benchmark: str
+    region: str
+    scheduler: str
+    status: str
+    report: Optional[VerificationReport] = None
+    detail: str = ""
+
+
+@dataclass
+class SweepReport:
+    """Aggregate of one verification sweep.
+
+    Attributes:
+        cells: One entry per (machine, benchmark, region, scheduler).
+    """
+
+    cells: List[SweepCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no cell has ERROR status."""
+        return not self.failures
+
+    @property
+    def failures(self) -> List[SweepCell]:
+        """Cells whose schedule failed verification (or whose scheduler
+        crashed with something other than a decline)."""
+        return [c for c in self.cells if c.status == CELL_ERROR]
+
+    @property
+    def skipped(self) -> List[SweepCell]:
+        """Cells whose scheduler declined the region."""
+        return [c for c in self.cells if c.status == CELL_SKIPPED]
+
+    @property
+    def verified(self) -> List[SweepCell]:
+        """Cells proven legal."""
+        return [c for c in self.cells if c.status == CELL_VERIFIED]
+
+    def render(self) -> str:
+        """Plain-text sweep summary with every failure detailed."""
+        lines = [
+            f"verification sweep: {len(self.cells)} cells — "
+            f"{len(self.verified)} verified, {len(self.skipped)} skipped "
+            f"(scheduler declined), {len(self.failures)} failed"
+        ]
+        for cell in self.skipped:
+            lines.append(
+                f"  SKIP {cell.machine} {cell.benchmark}/{cell.region} "
+                f"{cell.scheduler}: {cell.detail}"
+            )
+        for cell in self.failures:
+            lines.append(
+                f"  FAIL {cell.machine} {cell.benchmark}/{cell.region} "
+                f"{cell.scheduler}: {cell.detail}"
+            )
+            if cell.report is not None:
+                lines.extend("    " + d.render() for d in cell.report.errors[:8])
+        return "\n".join(lines)
+
+
+def run_sweep(
+    machines: Optional[Sequence[Machine]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    schedulers: Optional[Sequence[str]] = None,
+    warnings_as_errors: bool = False,
+) -> SweepReport:
+    """Schedule and statically verify a grid of workloads.
+
+    Args:
+        machines: Machines to sweep; default ``vliw4`` and ``raw4x4``.
+        benchmarks: Benchmark names; default each machine's suite.
+        schedulers: Scheduler registry names; default all registered.
+        warnings_as_errors: Also fail cells on WARNING diagnostics.
+
+    Returns:
+        The :class:`SweepReport`; the sweep is clean iff ``report.ok``.
+    """
+    from ..machine import ClusteredVLIW, RawMachine
+    from ..workloads import RAW_SUITE, VLIW_SUITE, build_benchmark
+
+    if machines is None:
+        machines = [ClusteredVLIW(4), RawMachine(4, 4)]
+    registry = scheduler_registry()
+    names = list(schedulers) if schedulers is not None else sorted(registry)
+    report = SweepReport()
+    for machine in machines:
+        suite = benchmarks
+        if suite is None:
+            suite = RAW_SUITE if machine.name.startswith("raw") else VLIW_SUITE
+        for benchmark in suite:
+            program = build_benchmark(benchmark, machine)
+            for scheduler_name in names:
+                for region in program.regions:
+                    report.cells.append(
+                        _verify_cell(
+                            machine,
+                            benchmark,
+                            region,
+                            scheduler_name,
+                            registry[scheduler_name](),
+                            warnings_as_errors,
+                        )
+                    )
+    return report
+
+
+def _verify_cell(
+    machine: Machine,
+    benchmark: str,
+    region,
+    scheduler_name: str,
+    scheduler: Scheduler,
+    warnings_as_errors: bool,
+) -> SweepCell:
+    """Schedule one region with one scheduler and verify the result."""
+    try:
+        schedule = scheduler.schedule(region, machine)
+    except SchedulingError as exc:
+        return SweepCell(
+            machine=machine.name,
+            benchmark=benchmark,
+            region=region.name,
+            scheduler=scheduler_name,
+            status=CELL_SKIPPED,
+            detail=str(exc),
+        )
+    except Exception as exc:  # noqa: BLE001 - crashes must surface as cells
+        return SweepCell(
+            machine=machine.name,
+            benchmark=benchmark,
+            region=region.name,
+            scheduler=scheduler_name,
+            status=CELL_ERROR,
+            detail=f"scheduler crashed: {type(exc).__name__}: {exc}",
+        )
+    merged = verify_ddg(region.ddg, machine, subject=f"{benchmark}/{region.name}")
+    merged.checker = "verify"
+    merged.subject = f"{benchmark}/{region.name} on {machine.name} [{scheduler_name}]"
+    merged.merge(verify_schedule(region, machine, schedule))
+    bad = bool(merged.errors) or (warnings_as_errors and bool(merged.warnings))
+    return SweepCell(
+        machine=machine.name,
+        benchmark=benchmark,
+        region=region.name,
+        scheduler=scheduler_name,
+        status=CELL_ERROR if bad else CELL_VERIFIED,
+        report=merged,
+        detail=f"{len(merged.errors)} error(s)" if bad else "",
+    )

@@ -35,7 +35,7 @@ class TestDocumentsExist:
         "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/passes.md", "docs/machines.md",
                  "docs/architecture.md", "docs/observability.md",
-                 "docs/benchmarking.md"]
+                 "docs/benchmarking.md", "docs/verification.md"]
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -93,6 +93,18 @@ class TestDocumentsExist:
                        "check_bench_schema"):
             assert needle in text, f"docs/benchmarking.md missing {needle!r}"
 
+    def test_verification_doc_covers_checkers_and_codes(self):
+        from repro.verify import DIAGNOSTIC_CODES
+
+        text = (ROOT / "docs" / "verification.md").read_text()
+        for needle in ("repro verify", "verify_ddg", "verify_schedule",
+                       "verify_matrix", "verify_pass_contracts",
+                       "verify=True", "VerificationError",
+                       "check_diag_codes"):
+            assert needle in text, f"docs/verification.md missing {needle!r}"
+        for code in DIAGNOSTIC_CODES:
+            assert f"`{code}`" in text, f"docs/verification.md missing {code}"
+
     def test_readme_tracks_performance(self):
         text = (ROOT / "README.md").read_text()
         assert "Tracking performance" in text
@@ -131,6 +143,10 @@ class TestAudits:
 
     def test_bench_schema_audit_passes(self):
         proc = self._run("check_bench_schema.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_diag_code_audit_passes(self):
+        proc = self._run("check_diag_codes.py")
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
