@@ -29,8 +29,8 @@ import pkgutil
 import sys
 from typing import Iterator, List, Tuple
 
-DEFAULT_PACKAGES = ("repro.core", "repro.harness", "repro.observability",
-                    "repro.verify")
+DEFAULT_PACKAGES = ("repro.core", "repro.engine", "repro.harness",
+                    "repro.observability", "repro.verify")
 
 #: Accepted section spellings for parameter documentation.
 ARGS_SECTIONS = ("Args:", "Arguments:", "Attributes:")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Fingerprint-schema audit: docs/engine.md must cover every key field.
+
+:data:`repro.engine.fingerprint.FINGERPRINT_FIELDS` is the authoritative
+list of everything the schedule-cache key digests.  A field that is
+hashed but undocumented is a silent cache-invalidation trigger nobody
+can reason about; a documented field that is no longer hashed is a
+false promise of invalidation.  This audit checks both directions:
+
+* every component group and every field name must appear in backticks
+  in ``docs/engine.md``;
+* every backticked name in the doc's schema table rows must still exist
+  in :data:`~repro.engine.fingerprint.FINGERPRINT_FIELDS`.
+
+It also pins the documented schema version: the doc must mention
+``FINGERPRINT_SCHEMA_VERSION`` so readers know how wholesale
+invalidation works.
+
+Exit status 0 when clean, 1 with a per-problem report otherwise.
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_fingerprint_schema.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.engine.fingerprint import FINGERPRINT_FIELDS
+
+
+def audit(doc_text: str) -> List[str]:
+    """Cross-check the doc against the live fingerprint schema.
+
+    Args:
+        doc_text: Contents of ``docs/engine.md``.
+
+    Returns:
+        Problem strings, empty when doc and schema agree.
+    """
+    problems: List[str] = []
+    for component, fields in sorted(FINGERPRINT_FIELDS.items()):
+        if f"`{component}`" not in doc_text:
+            problems.append(f"component group `{component}` not documented")
+        for name in fields:
+            if f"`{name}`" not in doc_text:
+                problems.append(
+                    f"field `{name}` (component {component}) not documented"
+                )
+    known = set(FINGERPRINT_FIELDS) | {
+        name for fields in FINGERPRINT_FIELDS.values() for name in fields
+    }
+    for row in doc_text.splitlines():
+        # Schema-table rows: | `component` | `field`, `field`, ... | notes |
+        if not re.match(r"^\|\s*`\w+`\s*\|", row):
+            continue
+        for name in re.findall(r"`(\w+)`", row):
+            if name not in known:
+                problems.append(
+                    f"doc table mentions `{name}`, which is not in "
+                    "FINGERPRINT_FIELDS"
+                )
+    if "FINGERPRINT_SCHEMA_VERSION" not in doc_text:
+        problems.append("doc never mentions FINGERPRINT_SCHEMA_VERSION")
+    return problems
+
+
+def main() -> int:
+    """Entry point; returns the process exit code."""
+    root = Path(__file__).resolve().parent.parent
+    doc = root / "docs" / "engine.md"
+    if not doc.exists():
+        print("fingerprint schema audit: docs/engine.md missing")
+        return 1
+    problems = audit(doc.read_text())
+    for problem in problems:
+        print(f"docs/engine.md: {problem}")
+    if problems:
+        print(f"fingerprint schema audit FAILED ({len(problems)} problem(s))")
+        return 1
+    total = sum(len(v) for v in FINGERPRINT_FIELDS.values())
+    print(
+        f"fingerprint schema audit ok: {len(FINGERPRINT_FIELDS)} components, "
+        f"{total} fields documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -171,6 +171,29 @@ def _cmd_convergence(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(spec: Optional[str]):
+    """Build a :class:`~repro.engine.cache.ScheduleCache` from a
+    ``--cache`` value: ``"mem"`` for in-memory only, anything else is a
+    directory for the persistent layer; ``None`` disables caching."""
+    if spec is None:
+        return None
+    from .engine import ScheduleCache
+
+    if spec == "mem":
+        return ScheduleCache()
+    return ScheduleCache(disk_dir=spec)
+
+
+def _render_cache_stats(cache) -> str:
+    """One-line hit/miss/store/evict summary of a cache's run."""
+    stats = cache.stats
+    return (
+        f"schedule cache: {stats.hits} hits / {stats.misses} misses "
+        f"({100 * stats.hit_rate:.0f}% hit rate), "
+        f"{stats.stores} stored, {stats.evictions} evicted"
+    )
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     """Run a seeded fault-injection campaign and print the report."""
     machine = parse_machine(args.machine)
@@ -181,14 +204,19 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         for name in names
         for region in build_benchmark(name, machine).regions
     ]
+    cache = _make_cache(args.cache)
     report = run_campaign(
         machine,
         regions,
         n_trials=args.trials,
         seed=args.seed,
         guarded_fraction=args.guarded_fraction,
+        jobs=args.jobs,
+        cache=cache,
     )
     print(report.render())
+    if cache is not None:
+        print(_render_cache_stats(cache))
     return 0 if report.ok else 1
 
 
@@ -210,12 +238,17 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         benchmarks = _split(args.benchmarks)
         if benchmarks is None and args.quick:
             benchmarks = ["vvmul", "fir"]
+        cache = _make_cache(args.cache)
         report = run_sweep(
             machines=machines,
             benchmarks=benchmarks,
             schedulers=_split(args.schedulers),
+            jobs=args.jobs,
+            cache=cache,
         )
         print(report.render())
+        if cache is not None:
+            print(_render_cache_stats(cache))
         payload["sweep"] = [
             {
                 "machine": c.machine,
@@ -432,6 +465,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0 if comparison.ok else 1
 
     machines = [parse_machine(s) for s in _split(args.machines)] if args.machines else None
+    cache = _make_cache(args.cache)
     snapshot = run_bench(
         machines=machines,
         benchmarks=_split(args.benchmarks),
@@ -440,8 +474,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         quick=args.quick,
         check_values=args.check_values,
+        jobs=args.jobs,
+        cache=cache,
     )
     print(_render_snapshot_summary(snapshot))
+    if cache is not None:
+        print(_render_cache_stats(cache))
 
     if args.against_latest:
         latest = latest_snapshot_path()
@@ -613,6 +651,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--all-cells", action="store_true", help="show neutral cells in the diff"
     )
+    bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cell fan-out (quality columns are "
+             "byte-identical to a serial run)",
+    )
+    bench.add_argument(
+        "--cache", metavar="DIR",
+        help="schedule cache: a directory for the persistent layer, or "
+             "'mem' for in-memory only",
+    )
 
     profile = sub.add_parser(
         "profile", help="compile-time breakdown across pipeline phases"
@@ -634,6 +682,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.75,
         help="fraction of trials with the pass guard enabled",
+    )
+    faults.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for trial fan-out (same report as serial)",
+    )
+    faults.add_argument(
+        "--cache", metavar="DIR",
+        help="schedule cache directory (or 'mem'); trials store "
+             "surviving schedules but never serve from the cache",
     )
 
     verify = sub.add_parser(
@@ -662,6 +719,15 @@ def build_parser() -> argparse.ArgumentParser:
              "the verifier flags every one",
     )
     verify.add_argument("--json", help="write all results as JSON to this path")
+    verify.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep fan-out (same report as serial)",
+    )
+    verify.add_argument(
+        "--cache", metavar="DIR",
+        help="schedule cache directory (or 'mem'); hits skip scheduling "
+             "but every schedule is still statically verified",
+    )
 
     search = sub.add_parser("search", help="hill-climb a pass sequence")
     search.add_argument("--machine", default="vliw4")

@@ -1,0 +1,61 @@
+"""Parallel compilation engine with a content-addressed schedule cache.
+
+``repro.engine`` makes whole-suite compilation fast without changing a
+single reported number:
+
+* :mod:`~repro.engine.pool` — :class:`CompilationEngine` fans region
+  scheduling out over a process pool with index-keyed deterministic
+  merge and inline retry of lost tasks;
+* :mod:`~repro.engine.cache` — :class:`ScheduleCache`, an in-memory
+  LRU with an optional shared on-disk layer, keyed by canonical
+  fingerprints;
+* :mod:`~repro.engine.fingerprint` — relabeling-invariant content
+  addresses for (DDG, machine, scheduler, seed, harness flags)
+  requests.
+
+The contract, enforced by ``tests/test_engine.py``: ``jobs=N`` and
+warm-cache runs are cycle-identical to the classic serial harness.
+"""
+
+from .cache import CacheHit, CacheSpec, CacheStats, ScheduleCache
+from .fingerprint import (
+    FINGERPRINT_FIELDS,
+    FINGERPRINT_SCHEMA_VERSION,
+    Fingerprint,
+    canonical_permutation,
+    ddg_fingerprint,
+    machine_fingerprint,
+    schedule_key,
+    scheduler_fingerprint,
+)
+from .pool import (
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_OFF,
+    CompilationEngine,
+    RegionTask,
+    TaskOutcome,
+    worker_cache,
+)
+
+__all__ = [
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CACHE_OFF",
+    "CacheHit",
+    "CacheSpec",
+    "CacheStats",
+    "CompilationEngine",
+    "FINGERPRINT_FIELDS",
+    "FINGERPRINT_SCHEMA_VERSION",
+    "Fingerprint",
+    "RegionTask",
+    "ScheduleCache",
+    "TaskOutcome",
+    "canonical_permutation",
+    "ddg_fingerprint",
+    "machine_fingerprint",
+    "schedule_key",
+    "scheduler_fingerprint",
+    "worker_cache",
+]

@@ -1,0 +1,383 @@
+"""Content-addressed schedule cache: in-memory LRU + optional disk.
+
+A :class:`ScheduleCache` maps a :class:`~repro.engine.fingerprint.
+Fingerprint` to the outcome of a scheduling request: the verified
+schedule (stored in *canonical* instruction coordinates so isomorphic
+regions can share entries) plus the recorded result numbers (cycles,
+transfers, utilization, communication busy cycles, compile seconds,
+verifier verdict).  Lookups translate the canonical schedule back into
+the requesting region's uid space through the fingerprint's
+permutation, so a hit is usable — and cycle-identical — even when the
+requester labels its instructions differently than the producer did.
+
+Two layers:
+
+* **memory** — a bounded LRU of serialized entries.  Entries are stored
+  and returned as *fresh* deserialized objects, so mutating a returned
+  :class:`~repro.schedulers.schedule.Schedule` can never corrupt the
+  cached copy;
+* **disk** (optional) — one ``<key>.json`` per entry under a cache
+  directory, written atomically (temp file + rename) so concurrent
+  workers sharing the directory never observe torn entries.  Corrupt or
+  truncated files degrade to a miss.
+
+Invalidation is purely by fingerprint: any change to the DDG, machine,
+scheduler configuration, seed, or harness flags produces a different
+key (see :mod:`repro.engine.fingerprint`), and a
+:data:`~repro.engine.fingerprint.FINGERPRINT_SCHEMA_VERSION` bump
+orphans every old entry at once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..ir.regions import Region
+from ..schedulers.schedule import CommEvent, Schedule, ScheduledOp
+from .fingerprint import FINGERPRINT_SCHEMA_VERSION, Fingerprint
+
+PathLike = Union[str, Path]
+
+#: The ``kind`` discriminator of a serialized cache entry.
+ENTRY_KIND = "schedule_cache_entry"
+
+#: Default number of entries the in-memory LRU retains.
+DEFAULT_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Picklable recipe for rebuilding an equivalent cache in a worker.
+
+    Attributes:
+        capacity: In-memory LRU capacity.
+        disk_dir: Shared on-disk layer directory, or ``None`` for a
+            memory-only cache (each worker then keeps its own LRU).
+    """
+
+    capacity: int = DEFAULT_CAPACITY
+    disk_dir: Optional[str] = None
+
+
+@dataclass
+class CacheHit:
+    """A successful lookup, rebuilt in the requester's coordinates.
+
+    Attributes:
+        schedule: A fresh :class:`Schedule` (never aliased with the
+            stored copy) with uids translated into the requesting
+            region's labelling.
+        cycles: Simulator cycle count recorded when the entry was
+            stored.
+        transfers: Recorded transfer count.
+        utilization: Recorded FU-slot utilization.
+        comm_busy: Recorded busy communication-resource cycles.
+        compile_seconds: Scheduling wall time of the *original* compile
+            (what the hit saved, not what it cost).
+        verified: Static-verifier verdict recorded at store time
+            (``None`` when the producer did not verify).
+        diagnostics: Rendered verifier diagnostics from store time.
+    """
+
+    schedule: Schedule
+    cycles: int
+    transfers: int
+    utilization: float
+    comm_busy: int
+    compile_seconds: float
+    verified: Optional[bool] = None
+    diagnostics: List[str] = field(default_factory=list)
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters describing one cache's traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit; 0.0 with no lookups."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe counter dump."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def merge(self, other: Dict[str, int]) -> None:
+        """Fold another stats dump (e.g. from a worker) into this one."""
+        self.hits += int(other.get("hits", 0))
+        self.misses += int(other.get("misses", 0))
+        self.stores += int(other.get("stores", 0))
+        self.evictions += int(other.get("evictions", 0))
+
+
+def _schedule_to_canonical(
+    schedule: Schedule, permutation: Tuple[int, ...]
+) -> Dict[str, Any]:
+    """Serialize a schedule with uids mapped to canonical positions."""
+    ops = sorted(
+        [permutation[op.uid], op.cluster, op.unit, op.start, op.latency]
+        for op in schedule.ops.values()
+    )
+    comms = sorted(
+        [
+            permutation[ev.producer_uid],
+            ev.src,
+            ev.dst,
+            ev.issue,
+            ev.arrival,
+            [list(resource) for resource in ev.resources],
+        ]
+        for ev in schedule.comms
+    )
+    return {
+        "scheduler_name": schedule.scheduler_name,
+        "machine_name": schedule.machine_name,
+        "ops": ops,
+        "comms": comms,
+    }
+
+
+def _schedule_from_canonical(
+    data: Dict[str, Any], fingerprint: Fingerprint, region: Region
+) -> Schedule:
+    """Rebuild a schedule in the requesting region's uid space."""
+    uid_of = fingerprint.uid_of_position()
+    schedule = Schedule(
+        region_name=region.name,
+        machine_name=str(data.get("machine_name", "")),
+        scheduler_name=str(data.get("scheduler_name", "")),
+    )
+    for position, cluster, unit, start, latency in data["ops"]:
+        schedule.add_op(
+            ScheduledOp(
+                uid=uid_of[position],
+                cluster=int(cluster),
+                unit=int(unit),
+                start=int(start),
+                latency=int(latency),
+            )
+        )
+    comms = [
+        CommEvent(
+            producer_uid=uid_of[position],
+            src=int(src),
+            dst=int(dst),
+            issue=int(issue),
+            arrival=int(arrival),
+            resources=tuple(
+                (str(name), int(a), int(b)) for name, a, b in resources
+            ),
+        )
+        for position, src, dst, issue, arrival, resources in data["comms"]
+    ]
+    comms.sort(key=lambda ev: (ev.issue, ev.producer_uid, ev.dst))
+    for event in comms:
+        schedule.add_comm(event)
+    return schedule
+
+
+class ScheduleCache:
+    """Two-layer (memory LRU + optional disk) schedule cache.
+
+    Args:
+        capacity: Maximum in-memory entries before LRU eviction.
+        disk_dir: Directory for the persistent layer; created on first
+            store.  ``None`` keeps the cache memory-only.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        disk_dir: Optional[PathLike] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._memory: "OrderedDict[str, str]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Spec round-trip (process-pool workers rebuild equivalent caches)
+    # ------------------------------------------------------------------
+
+    def spec(self) -> CacheSpec:
+        """The picklable recipe for an equivalent cache."""
+        return CacheSpec(
+            capacity=self.capacity,
+            disk_dir=str(self.disk_dir) if self.disk_dir is not None else None,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: Optional[CacheSpec]) -> Optional["ScheduleCache"]:
+        """Rebuild a cache from :meth:`spec`; ``None`` passes through."""
+        if spec is None:
+            return None
+        return cls(capacity=spec.capacity, disk_dir=spec.disk_dir)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: Fingerprint, region: Region) -> Optional[CacheHit]:
+        """Look up a request; rebuild the hit in ``region``'s uid space.
+
+        Args:
+            fingerprint: The request key (see :func:`~repro.engine.
+                fingerprint.schedule_key`).
+            region: The requesting region — supplies the uid labelling
+                the returned schedule is translated into.
+
+        Returns:
+            A fresh :class:`CacheHit`, or ``None`` on a miss.
+        """
+        text = self._memory.get(fingerprint.key)
+        if text is not None:
+            self._memory.move_to_end(fingerprint.key)
+        elif self.disk_dir is not None:
+            text = self._disk_read(fingerprint.key)
+            if text is not None:
+                self._memory_store(fingerprint.key, text)
+        if text is None:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
+            hit = CacheHit(
+                schedule=_schedule_from_canonical(
+                    entry["schedule"], fingerprint, region
+                ),
+                cycles=int(entry["cycles"]),
+                transfers=int(entry["transfers"]),
+                utilization=float(entry["utilization"]),
+                comm_busy=int(entry["comm_busy"]),
+                compile_seconds=float(entry["compile_seconds"]),
+                verified=entry.get("verified"),
+                diagnostics=list(entry.get("diagnostics", [])),
+            )
+        except (KeyError, ValueError, TypeError, IndexError):
+            # A malformed entry (schema drift, truncation) is a miss.
+            self._memory.pop(fingerprint.key, None)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return hit
+
+    def put(
+        self,
+        fingerprint: Fingerprint,
+        schedule: Schedule,
+        cycles: int,
+        transfers: int,
+        utilization: float,
+        comm_busy: int,
+        compile_seconds: float,
+        verified: Optional[bool] = None,
+        diagnostics: Optional[List[str]] = None,
+    ) -> None:
+        """Store one verified outcome under ``fingerprint``.
+
+        The schedule is serialized into canonical coordinates
+        immediately, so later mutation of the caller's object cannot
+        reach the cache.
+
+        Args:
+            fingerprint: The request key.
+            schedule: The simulator-verified schedule to store.
+            cycles: Simulator cycle count.
+            transfers: Inter-cluster transfer count.
+            utilization: FU-slot utilization.
+            comm_busy: Busy communication-resource cycles.
+            compile_seconds: Scheduling wall time being saved.
+            verified: Static-verifier verdict, when the run was gated.
+            diagnostics: Rendered verifier diagnostics, when gated.
+        """
+        entry = {
+            "kind": ENTRY_KIND,
+            "schema_version": FINGERPRINT_SCHEMA_VERSION,
+            "key": fingerprint.key,
+            "cycles": int(cycles),
+            "transfers": int(transfers),
+            "utilization": float(utilization),
+            "comm_busy": int(comm_busy),
+            "compile_seconds": float(compile_seconds),
+            "verified": verified,
+            "diagnostics": list(diagnostics or []),
+            "schedule": _schedule_to_canonical(schedule, fingerprint.permutation),
+        }
+        text = json.dumps(entry, sort_keys=True)
+        self._memory_store(fingerprint.key, text)
+        if self.disk_dir is not None:
+            self._disk_write(fingerprint.key, text)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (the disk layer is untouched)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+
+    def _memory_store(self, key: str, text: str) -> None:
+        """Insert into the LRU, evicting the oldest entry when full."""
+        self._memory[key] = text
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, key: str) -> Path:
+        """On-disk location of one entry."""
+        return self.disk_dir / f"{key}.json"
+
+    def _disk_read(self, key: str) -> Optional[str]:
+        """Read one entry's text from disk; ``None`` when absent/bad."""
+        try:
+            return self._disk_path(key).read_text()
+        except (OSError, UnicodeDecodeError):
+            return None
+
+    def _disk_write(self, key: str, text: str) -> None:
+        """Atomically persist one entry (temp file + rename)."""
+        try:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=f".{key[:12]}-", suffix=".tmp", dir=str(self.disk_dir)
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp_name, self._disk_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:  # pragma: no cover - disk layer is best-effort
+            pass

@@ -1,0 +1,391 @@
+"""Canonical content fingerprints for the schedule cache.
+
+A cache is only as trustworthy as its key.  The fingerprint of a
+scheduling request must change whenever *anything* that can change the
+resulting schedule changes — the dependence graph's structure, opcodes,
+latencies, preplacement; the machine's clusters, functional units,
+latency table, communication fabric; the scheduler's algorithm and
+configuration (pass sequence, seed, iterations) — while staying stable
+under incidental representation details such as the order edges were
+inserted in or the uid labelling of an isomorphic graph.
+
+The DDG part is computed in three steps:
+
+1. every instruction gets a **downward hash** (its attribute signature
+   plus the hashes of its full ancestor cone, operand order preserved)
+   and an **upward hash** (signature plus descendant cone);
+2. instructions are sorted by the combination of both hashes into a
+   **canonical order** — a relabelling that two isomorphic graphs agree
+   on whenever their hashes distinguish all nodes;
+3. the graph is serialized **in canonical coordinates** (node
+   signatures, operand references, and the sorted edge list) and
+   digested with SHA-256.
+
+Step 3 is what makes the scheme sound: two requests share a fingerprint
+only when their canonical serializations are byte-identical, and equal
+serializations *define* an attribute-preserving isomorphism between the
+graphs.  An imperfect canonical order (hash ties broken by uid) can
+only cause a spurious cache miss, never a wrong hit.
+
+:data:`FINGERPRINT_FIELDS` is the audited schema: every field consumed
+by the fingerprint, grouped by component.  ``scripts/
+check_fingerprint_schema.py`` verifies the documentation in
+``docs/engine.md`` covers each field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..ir.ddg import DataDependenceGraph
+from ..ir.opcode import Opcode
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from ..schedulers.base import Scheduler
+
+#: Bump on any incompatible change to the fingerprint computation; old
+#: cache entries then become unreachable instead of wrong.
+FINGERPRINT_SCHEMA_VERSION = 1
+
+#: The audited fingerprint schema: component -> fields folded into the
+#: digest.  ``scripts/check_fingerprint_schema.py`` checks that
+#: ``docs/engine.md`` documents every one of these names.
+FINGERPRINT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "ddg": (
+        "opcode",
+        "operands",
+        "home_cluster",
+        "bank",
+        "immediate",
+        "edge_kind",
+        "edge_latency",
+    ),
+    "machine": (
+        "machine_name",
+        "machine_class",
+        "n_clusters",
+        "cluster_units",
+        "cluster_registers",
+        "opcode_latencies",
+        "comm_latency",
+        "comm_resources",
+        "memory_affinity",
+        "remote_mem_penalty",
+    ),
+    "scheduler": (
+        "scheduler_name",
+        "scheduler_class",
+        "scheduler_config",
+        "pass_sequence",
+        "seed",
+        "chain_members",
+    ),
+    "run": (
+        "region_name",
+        "check_values",
+        "verify",
+        "schema_version",
+    ),
+}
+
+
+def _digest(payload: Any) -> str:
+    """SHA-256 hex digest of a JSON-serializable payload."""
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """A schedule-cache key plus the canonical relabelling behind it.
+
+    Attributes:
+        key: SHA-256 hex digest over the full request payload.
+        permutation: ``permutation[uid]`` is the canonical position of
+            instruction ``uid`` — the coordinate system cache entries
+            store their schedules in.
+    """
+
+    key: str
+    permutation: Tuple[int, ...]
+
+    def uid_of_position(self) -> List[int]:
+        """Inverse permutation: canonical position -> region uid."""
+        inverse = [0] * len(self.permutation)
+        for uid, position in enumerate(self.permutation):
+            inverse[position] = uid
+        return inverse
+
+
+# ----------------------------------------------------------------------
+# DDG canonicalization
+# ----------------------------------------------------------------------
+
+
+def _node_signature(ddg: DataDependenceGraph, uid: int) -> List[Any]:
+    """Label-independent attribute signature of one instruction."""
+    inst = ddg.instruction(uid)
+    return [inst.opcode.value, inst.home_cluster, inst.bank, inst.immediate]
+
+
+def canonical_permutation(ddg: DataDependenceGraph) -> Tuple[int, ...]:
+    """Map each uid to its canonical position.
+
+    Computes full-depth structural hashes in both directions (ancestor
+    cone with operand order, descendant cone) and sorts instructions by
+    the combined hash.  Ties — nodes the hashes cannot distinguish —
+    fall back to uid order, which at worst costs a cache miss for an
+    exotic relabelling, never a wrong hit (see module docstring).
+
+    Args:
+        ddg: The graph to canonicalize (must be acyclic).
+
+    Returns:
+        ``perm`` with ``perm[uid]`` the canonical position of ``uid``.
+    """
+    n = len(ddg)
+    topo = ddg.topological_order()
+    down: List[str] = [""] * n
+    for uid in topo:
+        preds = sorted(
+            (e.kind, e.latency, down[e.src]) for e in ddg.predecessors(uid)
+        )
+        operands = [down[op] for op in ddg.instruction(uid).operands]
+        down[uid] = _digest(["d", _node_signature(ddg, uid), preds, operands])
+    up: List[str] = [""] * n
+    for uid in reversed(topo):
+        succs = sorted(
+            (e.kind, e.latency, up[e.dst]) for e in ddg.successors(uid)
+        )
+        up[uid] = _digest(["u", _node_signature(ddg, uid), succs])
+    combined = [_digest([down[uid], up[uid]]) for uid in range(n)]
+    order = sorted(range(n), key=lambda uid: (combined[uid], uid))
+    perm = [0] * n
+    for position, uid in enumerate(order):
+        perm[uid] = position
+    return tuple(perm)
+
+
+def canonical_ddg_payload(
+    ddg: DataDependenceGraph, permutation: Optional[Tuple[int, ...]] = None
+) -> Dict[str, Any]:
+    """The graph serialized in canonical coordinates.
+
+    Node signatures cover ``opcode``/``home_cluster``/``bank``/
+    ``immediate`` plus ``operands`` (as canonical positions, order
+    preserved); the edge list covers ``edge_kind`` and ``edge_latency``
+    per edge.  Names are deliberately excluded — they do not affect any
+    scheduler's output (the convergent scheduler's per-region seed
+    derives from the *region* name, which is keyed separately).
+
+    Args:
+        ddg: The graph to serialize.
+        permutation: Precomputed :func:`canonical_permutation`; computed
+            here when omitted.
+
+    Returns:
+        A JSON-safe dict with ``nodes`` (in canonical order) and the
+        sorted ``edges`` list in canonical coordinates.
+    """
+    perm = permutation if permutation is not None else canonical_permutation(ddg)
+    nodes = []
+    for uid in sorted(range(len(ddg)), key=lambda u: perm[u]):
+        signature = _node_signature(ddg, uid)
+        operands = [perm[op] for op in ddg.instruction(uid).operands]
+        nodes.append([signature, operands])
+    edges = sorted(
+        [perm[e.src], perm[e.dst], e.kind, e.latency] for e in ddg.edges()
+    )
+    return {"nodes": nodes, "edges": edges}
+
+
+def ddg_fingerprint(ddg: DataDependenceGraph) -> str:
+    """Digest of the canonical graph serialization alone."""
+    return _digest(canonical_ddg_payload(ddg))
+
+
+# ----------------------------------------------------------------------
+# Machine fingerprint
+# ----------------------------------------------------------------------
+
+
+def machine_payload(machine: Machine) -> Dict[str, Any]:
+    """Everything about a machine that can change a schedule.
+
+    Covers identity (``machine_name``, ``machine_class``), the spatial
+    layout (``n_clusters``, per-cluster ``cluster_units`` and
+    ``cluster_registers``), the ``opcode_latencies`` table, the full
+    ``comm_latency`` / ``comm_resources`` matrices, and the memory
+    model (``memory_affinity``, ``remote_mem_penalty``).
+
+    Args:
+        machine: The machine model to serialize.
+
+    Returns:
+        A JSON-safe dict suitable for digesting.
+    """
+    n = machine.n_clusters
+    latencies = {}
+    for opcode in Opcode:
+        try:
+            latencies[opcode.value] = machine.latency(opcode)
+        except Exception:  # pragma: no cover - partial latency models
+            latencies[opcode.value] = None
+    return {
+        "machine_name": machine.name,
+        "machine_class": type(machine).__name__,
+        "n_clusters": n,
+        "cluster_units": [
+            [
+                [unit.name, sorted(c.value for c in unit.classes), unit.pipelined]
+                for unit in cluster.units
+            ]
+            for cluster in machine.clusters
+        ],
+        "cluster_registers": [cluster.registers for cluster in machine.clusters],
+        "opcode_latencies": latencies,
+        "comm_latency": [
+            [machine.comm_latency(src, dst) for dst in range(n)] for src in range(n)
+        ],
+        "comm_resources": [
+            [
+                [list(resource) for resource in machine.comm_resources(src, dst)]
+                for dst in range(n)
+            ]
+            for src in range(n)
+        ],
+        "memory_affinity": machine.memory_affinity,
+        "remote_mem_penalty": machine.remote_mem_penalty,
+    }
+
+
+def machine_fingerprint(machine: Machine) -> str:
+    """Digest of :func:`machine_payload`."""
+    return _digest(machine_payload(machine))
+
+
+# ----------------------------------------------------------------------
+# Scheduler fingerprint
+# ----------------------------------------------------------------------
+
+#: Instance attributes never folded into a scheduler fingerprint:
+#: bookkeeping about the *previous* run, not configuration.
+_EXCLUDED_ATTR_PREFIXES = ("last", "_last")
+_EXCLUDED_ATTRS = frozenset({"tracer", "schedulers"})
+
+_SIMPLE_TYPES = (str, int, float, bool, type(None))
+
+
+def _simple_config(obj: Any) -> Dict[str, Any]:
+    """JSON-safe subset of an object's instance attributes.
+
+    Scalars and flat sequences of scalars are kept verbatim; anything
+    richer is reduced to its class name so the fingerprint stays
+    deterministic (no ``repr`` memory addresses).
+    """
+    config: Dict[str, Any] = {}
+    for key in sorted(vars(obj)):
+        if key.startswith(_EXCLUDED_ATTR_PREFIXES) or key in _EXCLUDED_ATTRS:
+            continue
+        value = vars(obj)[key]
+        if isinstance(value, _SIMPLE_TYPES):
+            config[key] = value
+        elif isinstance(value, (list, tuple)) and all(
+            isinstance(v, _SIMPLE_TYPES) for v in value
+        ):
+            config[key] = list(value)
+        else:
+            config[key] = f"<{type(value).__name__}>"
+    return config
+
+
+def _pass_descriptor(item: Any) -> Any:
+    """Stable description of one pass-sequence element (name or pass)."""
+    if isinstance(item, str):
+        return item
+    name = getattr(item, "name", type(item).__name__)
+    return [type(item).__name__, name, _simple_config(item)]
+
+
+def scheduler_payload(scheduler: Scheduler) -> Dict[str, Any]:
+    """Everything about a scheduler that can change its output.
+
+    Always includes ``scheduler_name``, ``scheduler_class``, and the
+    scalar ``scheduler_config`` (which carries ``seed`` where the
+    scheduler has one).  The convergent scheduler additionally records
+    its resolved ``pass_sequence`` spec; a fallback chain records the
+    payloads of its ``chain_members`` recursively.
+
+    Args:
+        scheduler: The scheduler to serialize.
+
+    Returns:
+        A JSON-safe dict suitable for digesting.
+    """
+    payload: Dict[str, Any] = {
+        "scheduler_name": scheduler.name,
+        "scheduler_class": type(scheduler).__name__,
+        "scheduler_config": _simple_config(scheduler),
+    }
+    spec = getattr(scheduler, "_passes_spec", None)
+    if spec is not None:
+        payload["pass_sequence"] = [_pass_descriptor(item) for item in spec]
+    elif hasattr(scheduler, "_passes_spec"):
+        # The published per-machine default; the machine payload already
+        # distinguishes which sequence that resolves to.
+        payload["pass_sequence"] = "default"
+    members = getattr(scheduler, "schedulers", None)
+    if members is not None:
+        payload["chain_members"] = [scheduler_payload(m) for m in members]
+    return payload
+
+
+def scheduler_fingerprint(scheduler: Scheduler) -> str:
+    """Digest of :func:`scheduler_payload`."""
+    return _digest(scheduler_payload(scheduler))
+
+
+# ----------------------------------------------------------------------
+# The composite request key
+# ----------------------------------------------------------------------
+
+
+def schedule_key(
+    region: Region,
+    machine: Machine,
+    scheduler: Scheduler,
+    check_values: bool = True,
+    verify: bool = False,
+) -> Fingerprint:
+    """Fingerprint one scheduling request end to end.
+
+    The composite payload is the canonical DDG, the machine payload,
+    the scheduler payload, the ``region_name`` (the convergent
+    scheduler derives its per-region noise stream from it), the
+    ``check_values`` / ``verify`` harness flags, and the
+    ``schema_version``.
+
+    Args:
+        region: The region being scheduled.
+        machine: Target machine model.
+        scheduler: The scheduler that would produce the schedule.
+        check_values: Whether the harness will replay dataflow.
+        verify: Whether the harness will run the static verifier.
+
+    Returns:
+        The :class:`Fingerprint` (key + canonical permutation).
+    """
+    permutation = canonical_permutation(region.ddg)
+    payload = {
+        "schema_version": FINGERPRINT_SCHEMA_VERSION,
+        "ddg": canonical_ddg_payload(region.ddg, permutation),
+        "machine": machine_payload(machine),
+        "scheduler": scheduler_payload(scheduler),
+        "region_name": region.name,
+        "check_values": bool(check_values),
+        "verify": bool(verify),
+    }
+    return Fingerprint(key=_digest(payload), permutation=permutation)

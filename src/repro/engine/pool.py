@@ -1,0 +1,465 @@
+"""Parallel compilation engine: region fan-out with deterministic merge.
+
+A :class:`CompilationEngine` runs independent region-scheduling tasks —
+schedule, simulate, optionally verify, optionally serve/store cache
+entries — either inline (``jobs=1``) or across a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``jobs>1``).  Three
+rules make the parallel path indistinguishable from the serial one:
+
+* **index-keyed merge** — every task carries its position; outcomes are
+  reassembled by index, so completion order can never reorder results;
+* **per-region determinism** — schedulers in this repository derive
+  their randomness from ``(seed, region.name)`` (see
+  :class:`~repro.core.convergent.ConvergentScheduler`), so a region
+  schedules identically no matter which worker runs it or what ran
+  before it in that worker;
+* **no lost regions** — a task whose worker dies (or whose pool breaks)
+  is re-executed inline in the parent; worker failures degrade
+  throughput, never results.
+
+Workers are observability-clean: the initializer uninstalls any
+fork-inherited ambient tracer, each task records into a private
+:class:`~repro.observability.metrics.MetricsRegistry` and (when
+requested) a private :class:`~repro.observability.tracer.Tracer`, and
+the parent merges registries in index order and absorbs trace records
+tagged with the worker's pid.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+import multiprocessing
+
+from ..harness.experiment import (
+    RegionResult,
+    _record_region_metrics,
+    _run_region,
+)
+from ..ir.regions import Region
+from ..machine.machine import Machine
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracer import Tracer, tracing, uninstall
+from ..schedulers.base import Scheduler
+from ..schedulers.schedule import Schedule
+from .cache import CacheSpec, ScheduleCache
+from .fingerprint import Fingerprint, schedule_key
+
+#: ``TaskOutcome.cache_status`` values.
+CACHE_OFF = "off"
+CACHE_HIT = "hit"
+CACHE_MISS = "miss"
+
+
+@dataclass
+class RegionTask:
+    """One schedulable unit of work, tagged with its merge position.
+
+    Attributes:
+        index: Position of this task in the submitting run; outcomes
+            are merged by this index, never by completion order.
+        region: The region to schedule.
+        machine: Target machine model.
+        scheduler: Scheduler instance (must be picklable for ``jobs>1``;
+            every registered scheduler is).
+        check_values: Replay dataflow against the reference interpreter.
+        capture_errors: Capture scheduling failures into the result
+            instead of raising.
+        verify: Gate the region on the static verifier.
+        collect_metrics: Record per-region counters/histograms into a
+            private registry returned on the outcome.
+        trace: Record scheduling/simulation spans into a private tracer
+            returned (serialized) on the outcome.
+    """
+
+    index: int
+    region: Region
+    machine: Machine
+    scheduler: Scheduler
+    check_values: bool = True
+    capture_errors: bool = False
+    verify: bool = False
+    collect_metrics: bool = False
+    trace: bool = False
+
+
+@dataclass
+class TaskOutcome:
+    """Everything one :class:`RegionTask` produced.
+
+    Attributes:
+        index: Copied from the task; the merge key.
+        result: The region outcome (cycles always simulator-verified,
+            whether scheduled fresh or served from cache).
+        schedule: The verified schedule (``None`` when the region
+            failed); on a cache hit this is a fresh copy rebuilt in the
+            requesting region's uid space.
+        metrics: Private-registry snapshot when the task collected
+            metrics, else ``None``.
+        trace_records: Serialized tracer records when the task traced,
+            else empty.
+        cache_status: :data:`CACHE_OFF`, :data:`CACHE_HIT`, or
+            :data:`CACHE_MISS`.
+        cache_stats: Delta of the executing cache's counters caused by
+            this task (empty when caching was off).
+        worker: pid of the process that executed the task.
+    """
+
+    index: int
+    result: RegionResult
+    schedule: Optional[Schedule] = None
+    metrics: Optional[Dict[str, Dict]] = None
+    trace_records: List[Dict[str, Any]] = field(default_factory=list)
+    cache_status: str = CACHE_OFF
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    worker: int = 0
+
+
+def _execute_region_task(
+    task: RegionTask, cache: Optional[ScheduleCache]
+) -> TaskOutcome:
+    """Run one task to completion in the current process.
+
+    Args:
+        task: The work item.
+        cache: Schedule cache to consult/populate, or ``None``.
+
+    Returns:
+        The fully-populated :class:`TaskOutcome`.
+    """
+    registry = MetricsRegistry() if task.collect_metrics else None
+    tracer = Tracer() if task.trace else None
+    stats_before = cache.stats.to_dict() if cache is not None else {}
+    outcome = TaskOutcome(
+        index=task.index,
+        result=None,  # type: ignore[arg-type]  # filled below
+        worker=os.getpid(),
+    )
+
+    def _run() -> None:
+        fingerprint: Optional[Fingerprint] = None
+        scheduler_ran = False
+        if cache is not None:
+            fingerprint = schedule_key(
+                task.region,
+                task.machine,
+                task.scheduler,
+                check_values=task.check_values,
+                verify=task.verify,
+            )
+            lookup_started = time.perf_counter()
+            hit = cache.get(fingerprint, task.region)
+            if hit is not None:
+                outcome.cache_status = CACHE_HIT
+                outcome.schedule = hit.schedule
+                outcome.result = RegionResult(
+                    region_name=task.region.name,
+                    cycles=hit.cycles,
+                    transfers=hit.transfers,
+                    utilization=hit.utilization,
+                    compile_seconds=time.perf_counter() - lookup_started,
+                    n_instructions=len(task.region.ddg),
+                    comm_busy=hit.comm_busy,
+                    verified=hit.verified,
+                    diagnostics=list(hit.diagnostics),
+                )
+            else:
+                outcome.cache_status = CACHE_MISS
+        if outcome.result is None:
+            result, schedule = _run_region(
+                task.region,
+                task.machine,
+                task.scheduler,
+                task.check_values,
+                task.capture_errors,
+                task.verify,
+            )
+            scheduler_ran = True
+            outcome.result = result
+            outcome.schedule = schedule
+            if fingerprint is not None and result.ok and schedule is not None:
+                cache.put(
+                    fingerprint,
+                    schedule,
+                    cycles=result.cycles,
+                    transfers=result.transfers,
+                    utilization=result.utilization,
+                    comm_busy=result.comm_busy,
+                    compile_seconds=result.compile_seconds,
+                    verified=result.verified,
+                    diagnostics=result.diagnostics,
+                )
+        if registry is not None:
+            _record_region_metrics(
+                registry,
+                outcome.result,
+                task.scheduler if scheduler_ran else None,
+            )
+        if tracer is not None and cache is not None:
+            tracer.event(
+                "cache_lookup",
+                status=outcome.cache_status,
+                region=task.region.name,
+            )
+
+    if tracer is not None:
+        with tracing(tracer):
+            _run()
+    else:
+        _run()
+
+    if cache is not None:
+        after = cache.stats.to_dict()
+        outcome.cache_stats = {
+            key: after[key] - stats_before.get(key, 0) for key in after
+        }
+        if registry is not None:
+            for key, delta in outcome.cache_stats.items():
+                if delta:
+                    registry.inc(f"cache.{key}", delta)
+    if registry is not None:
+        outcome.metrics = registry.snapshot()
+    if tracer is not None:
+        outcome.trace_records = [r.to_dict() for r in tracer.records]
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Worker-process state
+# ----------------------------------------------------------------------
+
+_WORKER_CACHE: Optional[ScheduleCache] = None
+
+
+def _init_worker(cache_spec: Optional[CacheSpec]) -> None:
+    """Process-pool initializer: clean tracer state, build the cache.
+
+    Forked workers inherit the parent's ambient tracer; recording into
+    it from a child process would be silently lost (and confusing), so
+    it is uninstalled and each task records into a private tracer
+    instead.
+
+    Args:
+        cache_spec: Recipe for this worker's :class:`ScheduleCache`
+            (sharing the parent's disk layer, if any), or ``None``.
+    """
+    global _WORKER_CACHE
+    uninstall()
+    _WORKER_CACHE = ScheduleCache.from_spec(cache_spec)
+
+
+def worker_cache() -> Optional[ScheduleCache]:
+    """The executing process's cache (worker-local; ``None`` if off)."""
+    return _WORKER_CACHE
+
+
+@contextlib.contextmanager
+def _as_worker_cache(cache: Optional[ScheduleCache]) -> Iterator[None]:
+    """Temporarily expose ``cache`` via :func:`worker_cache` in-parent.
+
+    Used when the parent executes a task inline (serial mode, or a
+    retry after a pool failure) so cache-aware helpers behave the same
+    in both processes.
+    """
+    global _WORKER_CACHE
+    previous = _WORKER_CACHE
+    _WORKER_CACHE = cache
+    try:
+        yield
+    finally:
+        _WORKER_CACHE = previous
+
+
+def _pool_run_task(task: RegionTask) -> TaskOutcome:
+    """Top-level pool target: execute one task with the worker cache."""
+    return _execute_region_task(task, _WORKER_CACHE)
+
+
+def _pool_call(fn: Callable[[Any], Any], item: Any) -> Any:
+    """Top-level pool target for :meth:`CompilationEngine.map`.
+
+    Returns ``(result, cache_stats_delta)`` so the parent can fold the
+    worker cache's activity into the shared stats."""
+    cache = _WORKER_CACHE
+    before = cache.stats.to_dict() if cache is not None else {}
+    result = fn(item)
+    delta: Dict[str, int] = {}
+    if cache is not None:
+        after = cache.stats.to_dict()
+        delta = {key: after[key] - before.get(key, 0) for key in after}
+    return result, delta
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class CompilationEngine:
+    """Schedules regions across a worker pool with deterministic merge.
+
+    Args:
+        jobs: Worker-process count; ``1`` executes inline (no pool, no
+            pickling — byte-identical to the classic serial harness).
+        cache: Shared :class:`ScheduleCache`; workers rebuild an
+            equivalent cache from its :meth:`~ScheduleCache.spec` (a
+            disk-backed cache is then genuinely shared through the
+            filesystem; a memory-only cache becomes per-worker).
+
+    The executor is created lazily on first parallel use and should be
+    released with :meth:`close` (or by using the engine as a context
+    manager).  If the pool breaks (a worker is killed hard), affected
+    and subsequent tasks run inline in the parent — results are
+    unaffected, and :attr:`pool_breaks` counts the incident.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ScheduleCache] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.pool_breaks = 0
+        self.retried_tasks = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "CompilationEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        """The live executor, creating it on first use; ``None`` when
+        serial or after the pool broke."""
+        if self.jobs == 1 or self._broken:
+            return None
+        if self._executor is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context()
+            spec = self.cache.spec() if self.cache is not None else None
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(spec,),
+            )
+        return self._executor
+
+    def _mark_broken(self) -> None:
+        """Record a dead pool and stop submitting to it.
+
+        One incident breaks every in-flight future; only the first
+        report counts, so :attr:`pool_breaks` tallies incidents."""
+        if self._broken:
+            return
+        self.pool_breaks += 1
+        self._broken = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- region tasks --------------------------------------------------
+
+    def run_tasks(self, tasks: Sequence[RegionTask]) -> List[TaskOutcome]:
+        """Execute every task; outcomes are returned in *index* order.
+
+        Tasks whose worker died are retried inline in the parent, so
+        every submitted task yields exactly one outcome.  Exceptions a
+        task legitimately raises (``capture_errors=False``) propagate,
+        preserving the serial harness's fail-fast contract.
+
+        Args:
+            tasks: The work items (indices need not be contiguous, but
+                must be unique).
+
+        Returns:
+            One :class:`TaskOutcome` per task, sorted by task index.
+        """
+        outcomes: Dict[int, TaskOutcome] = {}
+        executor = self._pool()
+        pending: List[RegionTask] = list(tasks)
+        if executor is not None:
+            futures: Dict[Future, RegionTask] = {
+                executor.submit(_pool_run_task, task): task for task in pending
+            }
+            pending = []
+            for future, task in futures.items():
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    self._mark_broken()
+                    pending.append(task)
+                    continue
+                except Exception:
+                    if not task.capture_errors:
+                        raise
+                    self.retried_tasks += 1
+                    pending.append(task)
+                    continue
+                # Fold worker-side cache activity into the shared stats
+                # (entries themselves are shared via the disk layer).
+                if self.cache is not None and outcome.worker != os.getpid():
+                    self.cache.stats.merge(outcome.cache_stats)
+                outcomes[outcome.index] = outcome
+        for task in pending:
+            with _as_worker_cache(self.cache):
+                outcomes[task.index] = _execute_region_task(task, self.cache)
+        return [outcomes[task.index] for task in sorted(tasks, key=lambda t: t.index)]
+
+    # -- generic fan-out -----------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> List[Any]:
+        """Apply a picklable top-level function to every item.
+
+        Results are returned in *item* order regardless of completion
+        order.  Items whose worker died are retried inline; other
+        exceptions propagate (the serial semantics).
+
+        Args:
+            fn: Top-level function of one argument.  Inside workers it
+                may consult :func:`worker_cache`; inline execution
+                exposes the engine's own cache the same way.
+            items: The inputs (each must be picklable for ``jobs>1``).
+
+        Returns:
+            ``[fn(item) for item in items]``, computed with up to
+            ``jobs`` processes.
+        """
+        executor = self._pool()
+        if executor is None:
+            with _as_worker_cache(self.cache):
+                return [fn(item) for item in items]
+        futures = [executor.submit(_pool_call, fn, item) for item in items]
+        results: List[Any] = [None] * len(items)
+        retry: List[int] = []
+        for position, future in enumerate(futures):
+            try:
+                result, cache_delta = future.result()
+            except BrokenProcessPool:
+                self._mark_broken()
+                retry.append(position)
+                continue
+            results[position] = result
+            if self.cache is not None and cache_delta:
+                self.cache.stats.merge(cache_delta)
+        for position in retry:
+            with _as_worker_cache(self.cache):
+                results[position] = fn(items[position])
+        return results

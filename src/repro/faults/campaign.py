@@ -20,19 +20,22 @@ from one seeded generator: same seed, same campaign, same report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from ..core.convergent import ConvergentScheduler
 from ..core.sequences import sequence_for_machine
-from ..harness.experiment import RegionResult, run_region
+from ..harness.experiment import RegionResult, _run_region
 from ..ir.regions import Region
 from ..machine.machine import Machine
 from ..schedulers.fallback import FallbackChain
 from ..schedulers.single import SingleClusterScheduler
 from ..schedulers.uas import UnifiedAssignAndSchedule
 from .chaos import FAULT_REGISTRY, make_fault
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.cache import ScheduleCache
 
 #: How a trial survived its injected fault.
 DEFENSE_ROLLBACK = "rollback"  # pass guard rolled the matrix back
@@ -114,6 +117,118 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class TrialPlan:
+    """Everything one trial needs, pre-drawn so trials can run anywhere.
+
+    Plans are drawn up-front from the campaign's single seeded
+    generator (in the same order the serial loop always drew them), so
+    a trial executes identically whether it runs inline or in a pool
+    worker — and in any order.
+    """
+
+    trial: int
+    region: Region
+    machine: Machine
+    base_sequence: tuple
+    fault_kind: str
+    position: int
+    guarded: bool
+    seed: int
+    check_values: bool
+    verify: bool
+
+
+def _run_trial(plan: TrialPlan) -> InjectionOutcome:
+    """Execute one fault-injection trial (top-level for pool fan-out).
+
+    The full defense stack is rebuilt from the plan, the region is
+    scheduled through it, and the outcome is classified from the
+    scheduler state *in the executing process* — only the picklable
+    :class:`InjectionOutcome` travels back to the parent.
+
+    Trials never *consult* the schedule cache (a hit would skip the
+    defense stack, making the trial unclassifiable); when the engine
+    carries one, surviving schedules are *stored* so ordinary runs with
+    an identical configuration can reuse them.
+
+    Args:
+        plan: The pre-drawn trial recipe.
+
+    Returns:
+        The classified outcome.
+    """
+    passes: list = list(plan.base_sequence)
+    passes.insert(plan.position, make_fault(plan.fault_kind))
+    convergent = ConvergentScheduler(
+        passes=passes, seed=plan.seed + plan.trial, guard=plan.guarded
+    )
+    chain = FallbackChain(
+        [convergent, UnifiedAssignAndSchedule(), SingleClusterScheduler()],
+        check_values=plan.check_values,
+    )
+    result, schedule = _run_region(
+        plan.region,
+        plan.machine,
+        chain,
+        plan.check_values,
+        True,
+        plan.verify,
+    )
+    from ..engine.pool import worker_cache
+
+    cache = worker_cache()
+    if cache is not None and result.ok and schedule is not None:
+        from ..engine.fingerprint import schedule_key
+
+        cache.put(
+            schedule_key(
+                plan.region,
+                plan.machine,
+                chain,
+                check_values=plan.check_values,
+                verify=plan.verify,
+            ),
+            schedule,
+            cycles=result.cycles,
+            transfers=result.transfers,
+            utilization=result.utilization,
+            comm_busy=result.comm_busy,
+            compile_seconds=result.compile_seconds,
+            verified=result.verified,
+            diagnostics=result.diagnostics,
+        )
+
+    trace = convergent.last_result.trace if convergent.last_result else None
+    n_guard_events = len(trace.guard_events) if trace else 0
+    quarantined = (
+        convergent.last_result.guard.quarantined
+        if convergent.last_result and convergent.last_result.guard
+        else []
+    )
+    level = chain.last_level or 0
+    if not result.ok:
+        defense = DEFENSE_NONE
+    elif level > 0:
+        defense = DEFENSE_FALLBACK
+    elif n_guard_events > 0:
+        defense = DEFENSE_ROLLBACK
+    else:
+        defense = DEFENSE_ABSORBED
+    return InjectionOutcome(
+        trial=plan.trial,
+        region_name=plan.region.name,
+        fault_kind=plan.fault_kind,
+        position=plan.position,
+        guarded=plan.guarded,
+        defense=defense,
+        fallback_level=level,
+        guard_events=n_guard_events,
+        quarantined=list(quarantined),
+        result=result,
+    )
+
+
 def run_campaign(
     machine: Machine,
     regions: Sequence[Region],
@@ -123,6 +238,8 @@ def run_campaign(
     fault_kinds: Optional[Sequence[str]] = None,
     check_values: bool = False,
     verify: bool = False,
+    jobs: int = 1,
+    cache: Optional["ScheduleCache"] = None,
 ) -> CampaignReport:
     """Inject ``n_trials`` faults and report how each was survived.
 
@@ -141,6 +258,14 @@ def run_campaign(
             verifier (:mod:`repro.verify`) via the harness, so a trial
             only counts as survived if its recovered schedule is
             *provably* legal, not just simulator-accepted.
+        jobs: Worker processes to fan trials out over.  All randomness
+            is pre-drawn into per-trial plans and outcomes are merged
+            in trial order, so ``jobs=N`` reports exactly what
+            ``jobs=1`` does.
+        cache: Optional :class:`~repro.engine.cache.ScheduleCache`.
+            Trials *store* surviving schedules but never serve from the
+            cache (see :func:`_run_trial`), so classification stays
+            faithful.
     """
     if not regions:
         raise ValueError("campaign needs at least one region")
@@ -153,59 +278,37 @@ def run_campaign(
 
         base_sequence = list(GENERIC_SEQUENCE)
 
-    report = CampaignReport(machine_name=machine.name, seed=seed)
+    # Draws happen in the exact order the serial loop used (region,
+    # kind, position, guarded per trial), so plans — and therefore
+    # outcomes — are identical for any jobs count.
+    plans: List[TrialPlan] = []
     for trial in range(n_trials):
         region = regions[int(rng.integers(0, len(regions)))]
         kind = kinds[int(rng.integers(0, len(kinds)))]
         position = int(rng.integers(0, len(base_sequence) + 1))
         guarded = bool(rng.random() < guarded_fraction)
-
-        passes: list = list(base_sequence)
-        passes.insert(position, make_fault(kind))
-        convergent = ConvergentScheduler(
-            passes=passes, seed=seed + trial, guard=guarded
-        )
-        chain = FallbackChain(
-            [convergent, UnifiedAssignAndSchedule(), SingleClusterScheduler()],
-            check_values=check_values,
-        )
-        result = run_region(
-            region,
-            machine,
-            chain,
-            check_values=check_values,
-            capture_errors=True,
-            verify=verify,
-        )
-
-        trace = convergent.last_result.trace if convergent.last_result else None
-        n_guard_events = len(trace.guard_events) if trace else 0
-        quarantined = (
-            convergent.last_result.guard.quarantined
-            if convergent.last_result and convergent.last_result.guard
-            else []
-        )
-        level = chain.last_level or 0
-        if not result.ok:
-            defense = DEFENSE_NONE
-        elif level > 0:
-            defense = DEFENSE_FALLBACK
-        elif n_guard_events > 0:
-            defense = DEFENSE_ROLLBACK
-        else:
-            defense = DEFENSE_ABSORBED
-        report.outcomes.append(
-            InjectionOutcome(
+        plans.append(
+            TrialPlan(
                 trial=trial,
-                region_name=region.name,
+                region=region,
+                machine=machine,
+                base_sequence=tuple(base_sequence),
                 fault_kind=kind,
                 position=position,
                 guarded=guarded,
-                defense=defense,
-                fallback_level=level,
-                guard_events=n_guard_events,
-                quarantined=list(quarantined),
-                result=result,
+                seed=seed,
+                check_values=check_values,
+                verify=verify,
             )
         )
+
+    from ..engine.pool import CompilationEngine
+
+    engine = CompilationEngine(jobs=jobs, cache=cache)
+    try:
+        outcomes = engine.map(_run_trial, plans)
+    finally:
+        engine.close()
+    report = CampaignReport(machine_name=machine.name, seed=seed)
+    report.outcomes.extend(outcomes)
     return report

@@ -13,13 +13,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..ir.regions import Program, Region
 from ..machine.machine import Machine
 from ..observability.metrics import MetricsRegistry
+from ..observability.tracer import active
 from ..schedulers.base import Scheduler
+from ..schedulers.schedule import Schedule
 from ..sim.simulator import SimulationReport, simulate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.cache import ScheduleCache
+    from ..engine.pool import CompilationEngine
 
 #: Region/program completed with a verified schedule.
 STATUS_OK = "ok"
@@ -164,7 +170,7 @@ def run_region(
         The :class:`RegionResult`; its ``cycles`` come from the
         simulator, never the scheduler.
     """
-    result = _run_region(
+    result, _ = _run_region(
         region, machine, scheduler, check_values, capture_errors, verify
     )
     if registry is not None:
@@ -179,8 +185,11 @@ def _run_region(
     check_values: bool,
     capture_errors: bool,
     verify: bool = False,
-) -> RegionResult:
-    """Schedule + validate one region (no metrics bookkeeping)."""
+) -> Tuple[RegionResult, Optional[Schedule]]:
+    """Schedule + validate one region (no metrics bookkeeping).
+
+    Returns the result *and* the verified schedule (``None`` on
+    failure) so callers like the schedule cache can store it."""
     started = time.perf_counter()
     verified: Optional[bool] = None
     diagnostics: List[str] = []
@@ -203,35 +212,47 @@ def _run_region(
     except Exception as exc:  # noqa: BLE001 - harness boundary
         if not capture_errors:
             raise
-        return RegionResult(
+        return (
+            RegionResult(
+                region_name=region.name,
+                cycles=0,
+                transfers=0,
+                utilization=0.0,
+                compile_seconds=time.perf_counter() - started,
+                n_instructions=len(region.ddg),
+                status=STATUS_FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                verified=verified,
+                diagnostics=diagnostics,
+            ),
+            None,
+        )
+    return (
+        RegionResult(
             region_name=region.name,
-            cycles=0,
-            transfers=0,
-            utilization=0.0,
-            compile_seconds=time.perf_counter() - started,
+            cycles=report.cycles,
+            transfers=report.transfers,
+            utilization=report.utilization(machine),
+            compile_seconds=elapsed,
             n_instructions=len(region.ddg),
-            status=STATUS_FAILED,
-            error=f"{type(exc).__name__}: {exc}",
+            comm_busy=report.comm_busy_total,
             verified=verified,
             diagnostics=diagnostics,
-        )
-    return RegionResult(
-        region_name=region.name,
-        cycles=report.cycles,
-        transfers=report.transfers,
-        utilization=report.utilization(machine),
-        compile_seconds=elapsed,
-        n_instructions=len(region.ddg),
-        comm_busy=report.comm_busy_total,
-        verified=verified,
-        diagnostics=diagnostics,
+        ),
+        schedule,
     )
 
 
 def _record_region_metrics(
-    registry: MetricsRegistry, result: RegionResult, scheduler: Scheduler
+    registry: MetricsRegistry,
+    result: RegionResult,
+    scheduler: Optional[Scheduler] = None,
 ) -> None:
-    """Fold one region outcome into the registry."""
+    """Fold one region outcome into the registry.
+
+    ``scheduler`` is the instance that *actually ran* for this result,
+    or ``None`` when the result was served from the schedule cache (a
+    stale ``last_result`` must not re-count guard interventions)."""
     registry.inc("regions.scheduled")
     registry.inc("regions.ok" if result.ok else "regions.failed")
     registry.observe("region.compile_seconds", result.compile_seconds)
@@ -250,6 +271,70 @@ def _record_region_metrics(
         registry.inc("guard.quarantines", len(guard.quarantined))
 
 
+def _run_regions_serial(
+    program: Program,
+    machine: Machine,
+    scheduler: Scheduler,
+    check_values: bool,
+    capture_errors: bool,
+    registry: Optional[MetricsRegistry],
+    verify: bool,
+) -> List[RegionResult]:
+    """The classic in-process region loop, with index-keyed merge."""
+    results_by_index: Dict[int, RegionResult] = {}
+    for index, region in enumerate(program.regions):
+        results_by_index[index] = run_region(
+            region,
+            machine,
+            scheduler,
+            check_values=check_values,
+            capture_errors=capture_errors,
+            registry=registry,
+            verify=verify,
+        )
+    return [results_by_index[i] for i in range(len(program.regions))]
+
+
+def _run_regions_engine(
+    engine: "CompilationEngine",
+    program: Program,
+    machine: Machine,
+    scheduler: Scheduler,
+    check_values: bool,
+    capture_errors: bool,
+    registry: Optional[MetricsRegistry],
+    verify: bool,
+) -> List[RegionResult]:
+    """Fan regions out through a :class:`~repro.engine.pool.
+    CompilationEngine` and merge outcomes deterministically by index."""
+    from ..engine.pool import RegionTask
+
+    tracer = active()
+    tasks = [
+        RegionTask(
+            index=index,
+            region=region,
+            machine=machine,
+            scheduler=scheduler,
+            check_values=check_values,
+            capture_errors=capture_errors,
+            verify=verify,
+            collect_metrics=registry is not None,
+            # Serial engine tasks record into the ambient tracer
+            # directly; workers need a private tracer shipped back.
+            trace=tracer.enabled and engine.jobs > 1,
+        )
+        for index, region in enumerate(program.regions)
+    ]
+    outcomes = engine.run_tasks(tasks)
+    for outcome in outcomes:  # index order: merge is deterministic
+        if registry is not None and outcome.metrics is not None:
+            registry.merge(MetricsRegistry.from_snapshot(outcome.metrics))
+        if tracer.enabled and outcome.trace_records:
+            tracer.absorb(outcome.trace_records, worker=outcome.worker)
+    return [outcome.result for outcome in outcomes]
+
+
 def run_program(
     program: Program,
     machine: Machine,
@@ -258,6 +343,9 @@ def run_program(
     capture_errors: bool = True,
     registry: Optional[MetricsRegistry] = None,
     verify: bool = False,
+    jobs: int = 1,
+    cache: Optional["ScheduleCache"] = None,
+    engine: Optional["CompilationEngine"] = None,
 ) -> ProgramResult:
     """Schedule every region of ``program``; weight cycles by trip count.
 
@@ -265,6 +353,11 @@ def run_program(
     ``error`` on each :class:`RegionResult`, ``status="partial"`` or
     ``"failed"`` on the program) instead of aborting the whole program;
     pass ``capture_errors=False`` to restore fail-fast behavior.
+
+    Region→result association is by index: results are merged back in
+    region order no matter which worker finished first (or, serially,
+    how the loop was interleaved), so ``jobs=1`` and ``jobs=N`` produce
+    identical results.
 
     Args:
         program: The program whose regions are scheduled.
@@ -279,25 +372,41 @@ def run_program(
             attached as ``ProgramResult.metrics``.
         verify: Gate every region on the static verifier in addition to
             the simulator (see :func:`run_region`).
+        jobs: Worker-process count for region fan-out; ``1`` (the
+            default) stays on the classic in-process path.
+        cache: Optional :class:`~repro.engine.cache.ScheduleCache`
+            consulted per region (hits skip scheduling entirely and
+            replay recorded simulator numbers).
+        engine: Pre-built :class:`~repro.engine.pool.CompilationEngine`
+            to reuse across calls (its pool stays warm); overrides
+            ``jobs``/``cache``.
 
     Returns:
         The aggregated :class:`ProgramResult`.
     """
-    region_results: List[RegionResult] = []
+    own_engine: Optional["CompilationEngine"] = None
+    if engine is None and (jobs > 1 or cache is not None):
+        from ..engine.pool import CompilationEngine
+
+        engine = own_engine = CompilationEngine(jobs=jobs, cache=cache)
+    try:
+        if engine is None:
+            region_results = _run_regions_serial(
+                program, machine, scheduler, check_values, capture_errors,
+                registry, verify,
+            )
+        else:
+            region_results = _run_regions_engine(
+                engine, program, machine, scheduler, check_values,
+                capture_errors, registry, verify,
+            )
+    finally:
+        if own_engine is not None:
+            own_engine.close()
     total_cycles = 0
     total_transfers = 0
     total_seconds = 0.0
-    for region in program.regions:
-        result = run_region(
-            region,
-            machine,
-            scheduler,
-            check_values=check_values,
-            capture_errors=capture_errors,
-            registry=registry,
-            verify=verify,
-        )
-        region_results.append(result)
+    for region, result in zip(program.regions, region_results):
         total_cycles += result.cycles * region.trip_count
         total_transfers += result.transfers * region.trip_count
         total_seconds += result.compile_seconds

@@ -22,7 +22,7 @@ consumes alongside :attr:`ProgramResult.metrics
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..ir.regions import Program
 from ..machine.machine import Machine
@@ -30,6 +30,9 @@ from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import Tracer, tracing
 from ..schedulers.base import Scheduler
 from .experiment import ProgramResult, run_program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.cache import ScheduleCache
 
 #: Phases extracted from the traced run into ``Measurement.phase_seconds``.
 PHASE_NAMES = ("converge", "simulate", "list_schedule", "extract_assignment")
@@ -103,6 +106,7 @@ def measure_program(
     repeats: int = 3,
     check_values: bool = False,
     collect_phases: bool = True,
+    cache: Optional["ScheduleCache"] = None,
 ) -> Measurement:
     """Run one bench cell: K timed repeats plus an optional traced run.
 
@@ -116,6 +120,12 @@ def measure_program(
             either way and cycle counts are unaffected.
         collect_phases: Also do one traced run for the per-phase
             breakdown and per-pass churn/entropy (not timed).
+        cache: Optional :class:`~repro.engine.cache.ScheduleCache`
+            consulted by every repeat.  Quality fields are unaffected
+            (hits replay recorded simulator numbers), but timing and
+            phase/churn fields then describe the *cached* compile path
+            — leave it off when the cost columns must reflect fresh
+            scheduling.
 
     Returns:
         The assembled :class:`Measurement`; ``result`` carries the
@@ -128,7 +138,8 @@ def measure_program(
     for index in range(repeats):
         registry = MetricsRegistry() if index == 0 else None
         outcome = run_program(
-            program, machine, scheduler, check_values=check_values, registry=registry
+            program, machine, scheduler, check_values=check_values,
+            registry=registry, cache=cache,
         )
         runs.append(outcome.compile_seconds)
         if result is None:
@@ -137,7 +148,9 @@ def measure_program(
     if collect_phases:
         tracer = Tracer()
         with tracing(tracer):
-            run_program(program, machine, scheduler, check_values=check_values)
+            run_program(
+                program, machine, scheduler, check_values=check_values, cache=cache
+            )
         _fold_trace(measurement, tracer)
     return measurement
 

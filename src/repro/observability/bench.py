@@ -37,7 +37,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
 from ..machine import ClusteredVLIW, Machine, raw_with_tiles
 from ..schedulers import (
@@ -47,6 +47,9 @@ from ..schedulers import (
     UnifiedAssignAndSchedule,
 )
 from ..workloads import build_benchmark, suite_for_machine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.cache import ScheduleCache
 
 PathLike = Union[str, Path]
 
@@ -332,6 +335,59 @@ def next_snapshot_path(root: Optional[PathLike] = None) -> Path:
 # ----------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class _CellSpec:
+    """One bench cell's full recipe, picklable for pool fan-out.
+
+    ``machine`` is the machine the cell is *keyed* by; ``target`` is
+    the machine actually scheduled on (the 1-cluster sibling for the
+    baseline scheduler, ``machine`` itself otherwise).
+    """
+
+    benchmark: str
+    machine: Machine
+    target: Machine
+    scheduler: str
+    seed: int
+    repeats: int
+    check_values: bool
+    collect_phases: bool
+
+
+def _measure_cell_task(spec: _CellSpec) -> Dict[str, object]:
+    """Measure one bench cell (top-level so the pool can run it).
+
+    The benchmark program and scheduler are rebuilt inside the
+    executing process from the spec — both constructions are
+    deterministic, so a cell measures identically in any worker.
+
+    Args:
+        spec: The cell recipe.
+
+    Returns:
+        Dict with the assembled ``cell`` and the quality ``cycles``
+        (for baseline bookkeeping).
+    """
+    from ..engine.pool import worker_cache
+    from ..harness.measure import measure_program
+
+    program = build_benchmark(spec.benchmark, spec.target)
+    scheduler = _make_scheduler(spec.scheduler, spec.seed)
+    measurement = measure_program(
+        program,
+        spec.target,
+        scheduler,
+        repeats=spec.repeats,
+        check_values=spec.check_values,
+        collect_phases=spec.collect_phases,
+        cache=worker_cache(),
+    )
+    cell = _assemble_cell(
+        spec.benchmark, spec.machine.name, spec.scheduler, measurement
+    )
+    return {"cell": cell, "cycles": measurement.result.cycles}
+
+
 def run_bench(
     machines: Optional[Sequence[Machine]] = None,
     benchmarks: Optional[Sequence[str]] = None,
@@ -342,6 +398,8 @@ def run_bench(
     check_values: bool = False,
     collect_phases: bool = True,
     snapshot_id: int = 0,
+    jobs: int = 1,
+    cache: Optional["ScheduleCache"] = None,
 ) -> BenchSnapshot:
     """Run the benchmark matrix and assemble a :class:`BenchSnapshot`.
 
@@ -365,20 +423,27 @@ def run_bench(
             phase/churn breakdown.
         snapshot_id: Identity recorded in the snapshot (the caller
             knows the target filename; 0 for in-memory snapshots).
+        jobs: Worker processes to fan cells out over; cells are merged
+            back in plan order, so quality columns are byte-identical
+            to a serial run.
+        cache: Optional :class:`~repro.engine.cache.ScheduleCache`;
+            hits replay recorded quality numbers (identical cells, much
+            faster), and aggregate hit/miss counters land in the
+            snapshot's ``config["cache"]``.
 
     Returns:
         The assembled snapshot with cells sorted by
         (machine, benchmark, scheduler).
     """
     # Imported lazily to keep module import light and cycle-free.
-    from ..harness.measure import measure_program
+    from ..engine.pool import CompilationEngine
 
     started = time.perf_counter()
     machines = list(machines) if machines else default_machines()
     if repeats is None:
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
-    cells: List[BenchCell] = []
     bench_plan: Dict[str, Dict[str, List[str]]] = {}
+    specs: List[_CellSpec] = []
     for machine in machines:
         names = list(benchmarks) if benchmarks else (
             list(QUICK_BENCHMARKS) if quick else list(suite_for_machine(machine))
@@ -390,53 +455,67 @@ def run_bench(
             sched_names.append(BASELINE_SCHEDULER)
         bench_plan[machine.name] = {"benchmarks": names, "schedulers": sched_names}
         baseline = baseline_machine(machine)
-        baseline_cycles: Dict[str, int] = {}
-        machine_cells: List[BenchCell] = []
         for name in names:
-            program = build_benchmark(name, machine)
             for sched_name in sched_names:
-                scheduler = _make_scheduler(sched_name, seed)
                 # The single-cluster baseline runs on the 1-cluster
                 # sibling, the paper's speedup denominator; the cell is
                 # still keyed by the target machine so snapshots align.
-                if sched_name == BASELINE_SCHEDULER:
-                    target = baseline
-                    cell_program = build_benchmark(name, baseline)
-                else:
-                    target = machine
-                    cell_program = program
-                measurement = measure_program(
-                    cell_program,
-                    target,
-                    scheduler,
-                    repeats=repeats,
-                    check_values=check_values,
-                    collect_phases=collect_phases,
+                target = baseline if sched_name == BASELINE_SCHEDULER else machine
+                specs.append(
+                    _CellSpec(
+                        benchmark=name,
+                        machine=machine,
+                        target=target,
+                        scheduler=sched_name,
+                        seed=seed,
+                        repeats=repeats,
+                        check_values=check_values,
+                        collect_phases=collect_phases,
+                    )
                 )
-                cell = _assemble_cell(name, machine.name, sched_name, measurement)
-                if sched_name == BASELINE_SCHEDULER:
-                    baseline_cycles[name] = measurement.result.cycles
-                machine_cells.append(cell)
-        for cell in machine_cells:
-            base = baseline_cycles.get(cell.benchmark, 0)
-            cycles = cell.quality["cycles"]
-            cell.quality["speedup"] = (
-                round(base / cycles, 4) if base and cycles else 0.0
-            )
-        cells.extend(machine_cells)
+    stats_before = cache.stats.to_dict() if cache is not None else {}
+    engine = CompilationEngine(jobs=jobs, cache=cache)
+    try:
+        outcomes = engine.map(_measure_cell_task, specs)
+    finally:
+        engine.close()
+    cache_totals: Dict[str, int] = {}
+    if cache is not None:
+        # map() folds worker deltas into the shared stats, so the
+        # before/after difference covers serial and parallel runs alike.
+        after = cache.stats.to_dict()
+        cache_totals = {k: after[k] - stats_before.get(k, 0) for k in after}
+    cells: List[BenchCell] = []
+    baseline_cycles: Dict[Tuple[str, str], int] = {}
+    for spec, outcome in zip(specs, outcomes):
+        cells.append(outcome["cell"])
+        if spec.scheduler == BASELINE_SCHEDULER:
+            baseline_cycles[(spec.machine.name, spec.benchmark)] = outcome["cycles"]
+    for cell in cells:
+        base = baseline_cycles.get((cell.machine, cell.benchmark), 0)
+        cycles = cell.quality["cycles"]
+        cell.quality["speedup"] = (
+            round(base / cycles, 4) if base and cycles else 0.0
+        )
     cells.sort(key=lambda c: (c.machine, c.benchmark, c.scheduler))
+    environment = environment_fingerprint()
+    environment["jobs"] = str(jobs)
+    config: Dict[str, object] = {
+        "tier": "quick" if quick else "full",
+        "repeats": repeats,
+        "seed": seed,
+        "check_values": check_values,
+        "jobs": jobs,
+        "plan": bench_plan,
+    }
+    if cache is not None:
+        config["cache"] = dict(cache_totals)
     return BenchSnapshot(
         schema_version=SCHEMA_VERSION,
         snapshot_id=snapshot_id,
         created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        environment=environment_fingerprint(),
-        config={
-            "tier": "quick" if quick else "full",
-            "repeats": repeats,
-            "seed": seed,
-            "check_values": check_values,
-            "plan": bench_plan,
-        },
+        environment=environment,
+        config=config,
         cells=cells,
         peak_rss_kb=_peak_rss_kb(),
         wall_seconds=time.perf_counter() - started,

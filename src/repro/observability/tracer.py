@@ -210,6 +210,31 @@ class Tracer:
         self.records.append(record)
         return record
 
+    def absorb(
+        self, records: List[Dict[str, Any]], **extra: Any
+    ) -> List[TraceRecord]:
+        """Append serialized records from another tracer (e.g. a worker).
+
+        Args:
+            records: :meth:`TraceRecord.to_dict` dumps, in the order the
+                producing tracer recorded them.
+            extra: Attributes stamped onto every absorbed record (e.g.
+                ``worker=<pid>`` for per-worker span attribution).
+
+        Returns:
+            The appended :class:`TraceRecord` list.  Absorbed records
+            keep their own relative timestamps; only their tag fields
+            change.
+        """
+        absorbed = []
+        for data in records:
+            record = TraceRecord.from_dict(dict(data))
+            for key, value in extra.items():
+                record.fields.setdefault(key, _json_safe(value))
+            self.records.append(record)
+            absorbed.append(record)
+        return absorbed
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

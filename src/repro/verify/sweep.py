@@ -140,11 +140,37 @@ class SweepReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class _SweepSpec:
+    """One sweep cell's recipe, picklable for pool fan-out."""
+
+    machine: Machine
+    benchmark: str
+    region: object
+    scheduler_name: str
+    warnings_as_errors: bool
+
+
+def _sweep_cell_task(spec: _SweepSpec) -> SweepCell:
+    """Top-level pool target: build the scheduler and verify one cell."""
+    scheduler = scheduler_registry()[spec.scheduler_name]()
+    return _verify_cell(
+        spec.machine,
+        spec.benchmark,
+        spec.region,
+        spec.scheduler_name,
+        scheduler,
+        spec.warnings_as_errors,
+    )
+
+
 def run_sweep(
     machines: Optional[Sequence[Machine]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     schedulers: Optional[Sequence[str]] = None,
     warnings_as_errors: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> SweepReport:
     """Schedule and statically verify a grid of workloads.
 
@@ -153,10 +179,18 @@ def run_sweep(
         benchmarks: Benchmark names; default each machine's suite.
         schedulers: Scheduler registry names; default all registered.
         warnings_as_errors: Also fail cells on WARNING diagnostics.
+        jobs: Worker processes to fan cells out over; cells come back
+            in grid order regardless of completion order.
+        cache: Optional :class:`~repro.engine.cache.ScheduleCache`.
+            The sweep is *read-only* on it: a hit replays the cached
+            schedule (skipping scheduling) and still verifies it
+            statically; nothing is stored, because the sweep never
+            simulates and so has no verified cycle numbers to record.
 
     Returns:
         The :class:`SweepReport`; the sweep is clean iff ``report.ok``.
     """
+    from ..engine.pool import CompilationEngine
     from ..machine import ClusteredVLIW, RawMachine
     from ..workloads import RAW_SUITE, VLIW_SUITE, build_benchmark
 
@@ -164,7 +198,7 @@ def run_sweep(
         machines = [ClusteredVLIW(4), RawMachine(4, 4)]
     registry = scheduler_registry()
     names = list(schedulers) if schedulers is not None else sorted(registry)
-    report = SweepReport()
+    specs: List[_SweepSpec] = []
     for machine in machines:
         suite = benchmarks
         if suite is None:
@@ -173,16 +207,22 @@ def run_sweep(
             program = build_benchmark(benchmark, machine)
             for scheduler_name in names:
                 for region in program.regions:
-                    report.cells.append(
-                        _verify_cell(
-                            machine,
-                            benchmark,
-                            region,
-                            scheduler_name,
-                            registry[scheduler_name](),
-                            warnings_as_errors,
+                    specs.append(
+                        _SweepSpec(
+                            machine=machine,
+                            benchmark=benchmark,
+                            region=region,
+                            scheduler_name=scheduler_name,
+                            warnings_as_errors=warnings_as_errors,
                         )
                     )
+    engine = CompilationEngine(jobs=jobs, cache=cache)
+    try:
+        cells = engine.map(_sweep_cell_task, specs)
+    finally:
+        engine.close()
+    report = SweepReport()
+    report.cells.extend(cells)
     return report
 
 
@@ -194,9 +234,28 @@ def _verify_cell(
     scheduler: Scheduler,
     warnings_as_errors: bool,
 ) -> SweepCell:
-    """Schedule one region with one scheduler and verify the result."""
+    """Schedule one region with one scheduler and verify the result.
+
+    When the executing process carries a schedule cache (see
+    :func:`repro.engine.pool.worker_cache`), a hit supplies the
+    schedule without re-running the scheduler — the static checks still
+    run in full against the reconstructed schedule."""
+    from ..engine.pool import worker_cache
+
+    schedule = None
+    cache = worker_cache()
+    if cache is not None:
+        from ..engine.fingerprint import schedule_key
+
+        hit = cache.get(
+            schedule_key(region, machine, scheduler, check_values=False),
+            region,
+        )
+        if hit is not None:
+            schedule = hit.schedule
     try:
-        schedule = scheduler.schedule(region, machine)
+        if schedule is None:
+            schedule = scheduler.schedule(region, machine)
     except SchedulingError as exc:
         return SweepCell(
             machine=machine.name,

@@ -35,7 +35,8 @@ class TestDocumentsExist:
         "name", ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/passes.md", "docs/machines.md",
                  "docs/architecture.md", "docs/observability.md",
-                 "docs/benchmarking.md", "docs/verification.md"]
+                 "docs/benchmarking.md", "docs/verification.md",
+                 "docs/engine.md"]
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -105,6 +106,19 @@ class TestDocumentsExist:
         for code in DIAGNOSTIC_CODES:
             assert f"`{code}`" in text, f"docs/verification.md missing {code}"
 
+    def test_engine_doc_covers_pool_cache_and_cli(self):
+        text = (ROOT / "docs" / "engine.md").read_text()
+        for needle in ("CompilationEngine", "ScheduleCache", "schedule_key",
+                       "FINGERPRINT_SCHEMA_VERSION", "--jobs", "--cache",
+                       "check_fingerprint_schema", "tests/test_engine.py",
+                       "LRU", "index"):
+            assert needle in text, f"docs/engine.md missing {needle!r}"
+
+    def test_readme_documents_engine_flags(self):
+        text = (ROOT / "README.md").read_text()
+        for needle in ("--jobs", "--cache", "docs/engine.md"):
+            assert needle in text, f"README.md missing {needle!r}"
+
     def test_readme_tracks_performance(self):
         text = (ROOT / "README.md").read_text()
         assert "Tracking performance" in text
@@ -147,6 +161,10 @@ class TestAudits:
 
     def test_diag_code_audit_passes(self):
         proc = self._run("check_diag_codes.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_fingerprint_schema_audit_passes(self):
+        proc = self._run("check_fingerprint_schema.py")
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
 

@@ -1,0 +1,315 @@
+"""Equivalence suite for the compilation engine.
+
+The engine's contract is *cycle-identity*: running the harness through
+a worker pool (``jobs>1``) or through the content-addressed schedule
+cache must produce exactly the numbers the classic serial path
+produces.  This suite pins that contract for every registered
+scheduler, on both machine models, over the full workload suites —
+comparing serialized :class:`~repro.harness.experiment.ProgramResult`
+objects modulo wall-clock timing, and raw schedules op for op.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.engine import (
+    CACHE_HIT,
+    CompilationEngine,
+    RegionTask,
+    ScheduleCache,
+)
+from repro.harness import run_program
+from repro.harness.results import program_result_to_dict
+from repro.machine import ClusteredVLIW, RawMachine
+from repro.verify.sweep import scheduler_registry
+from repro.workloads import RAW_SUITE, VLIW_SUITE, build_benchmark
+
+MACHINES = {
+    "raw4x4": RawMachine(4, 4),
+    "vliw4": ClusteredVLIW(4),
+}
+SCHEDULERS = sorted(scheduler_registry())
+
+
+def suite_for(machine_key):
+    """The paper suite evaluated on the given machine."""
+    return RAW_SUITE if machine_key.startswith("raw") else VLIW_SUITE
+
+
+def make_scheduler(name):
+    """Fresh default-configured scheduler from the registry."""
+    return scheduler_registry()[name]()
+
+
+def scrubbed(result):
+    """``ProgramResult`` as a dict with wall-clock fields neutralized.
+
+    ``compile_seconds`` is genuine elapsed time and differs between any
+    two runs; everything else must match exactly.  Metrics are compared
+    separately (they embed timing histograms).
+    """
+    data = copy.deepcopy(program_result_to_dict(result))
+    data["compile_seconds"] = 0.0
+    data["metrics"] = None
+    for region in data["regions"]:
+        region["compile_seconds"] = 0.0
+    return data
+
+
+#: Memoized serial ground truth: (scheduler, machine) -> (results, cache).
+#: The serial pass runs cold *through* a cache so the warm-rerun tests
+#: can replay it without paying a second full compile of the grid.
+_SERIAL = {}
+
+
+def serial_ground_truth(scheduler_name, machine_key):
+    """Serial full-suite results plus the cache the cold run populated."""
+    key = (scheduler_name, machine_key)
+    if key not in _SERIAL:
+        machine = MACHINES[machine_key]
+        cache = ScheduleCache()
+        results = {}
+        for benchmark in suite_for(machine_key):
+            program = build_benchmark(benchmark, machine)
+            results[benchmark] = scrubbed(
+                run_program(
+                    program, machine, make_scheduler(scheduler_name),
+                    check_values=False, cache=cache,
+                )
+            )
+        _SERIAL[key] = (results, cache)
+    return _SERIAL[key]
+
+
+@pytest.fixture(scope="module")
+def engine2():
+    """One warm two-worker pool shared by the whole module."""
+    with CompilationEngine(jobs=2) as engine:
+        yield engine
+
+
+class TestParallelEqualsSerial:
+    """jobs=2 over the full grid; jobs=4 for the paper scheduler."""
+
+    @pytest.mark.parametrize("machine_key", sorted(MACHINES))
+    @pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+    def test_jobs2_matches_serial(self, scheduler_name, machine_key, engine2):
+        expected, _ = serial_ground_truth(scheduler_name, machine_key)
+        machine = MACHINES[machine_key]
+        for benchmark in suite_for(machine_key):
+            program = build_benchmark(benchmark, machine)
+            parallel = run_program(
+                program, machine, make_scheduler(scheduler_name),
+                check_values=False, engine=engine2,
+            )
+            assert scrubbed(parallel) == expected[benchmark], (
+                f"{scheduler_name}/{machine_key}/{benchmark}: "
+                "jobs=2 diverged from serial"
+            )
+
+    @pytest.mark.parametrize("machine_key", sorted(MACHINES))
+    def test_jobs4_convergent_matches_serial(self, machine_key):
+        expected, _ = serial_ground_truth("convergent", machine_key)
+        machine = MACHINES[machine_key]
+        with CompilationEngine(jobs=4) as engine:
+            for benchmark in suite_for(machine_key):
+                program = build_benchmark(benchmark, machine)
+                parallel = run_program(
+                    program, machine, make_scheduler("convergent"),
+                    check_values=False, engine=engine,
+                )
+                assert scrubbed(parallel) == expected[benchmark]
+
+    def test_value_checked_path_matches_serial(self, engine2):
+        """The interpreter-replay path survives the pool too."""
+        machine = MACHINES["vliw4"]
+        program = build_benchmark("mxm", machine)
+        serial = run_program(
+            program, machine, make_scheduler("convergent"), check_values=True,
+        )
+        parallel = run_program(
+            program, machine, make_scheduler("convergent"), check_values=True,
+            engine=engine2,
+        )
+        assert scrubbed(parallel) == scrubbed(serial)
+
+    def test_metrics_counters_match_serial(self, engine2):
+        """Counter metrics (not timing histograms) are jobs-invariant."""
+        from repro.observability.metrics import MetricsRegistry
+
+        machine = MACHINES["raw4x4"]
+        program = build_benchmark("jacobi", machine)
+        snapshots = []
+        for engine in (None, engine2):
+            registry = MetricsRegistry()
+            run_program(
+                program, machine, make_scheduler("convergent"),
+                check_values=False, registry=registry, engine=engine,
+            )
+            snapshots.append(registry.snapshot())
+        serial, parallel = snapshots
+        assert serial["counters"] == parallel["counters"]
+        # Histogram *counts* must agree as well; values may be timing.
+        assert {k: v["count"] for k, v in serial["histograms"].items()} == {
+            k: v["count"] for k, v in parallel["histograms"].items()
+        }
+
+
+class TestSchedulesIdentical:
+    """Beyond cycle counts: the schedules themselves are op-identical."""
+
+    @staticmethod
+    def _flatten(schedule):
+        ops = sorted(
+            (op.uid, op.cluster, op.unit, op.start, op.latency)
+            for op in schedule.ops.values()
+        )
+        comms = sorted(
+            (c.producer_uid, c.src, c.dst, c.issue, c.arrival,
+             tuple(c.resources))
+            for c in schedule.comms
+        )
+        return ops, comms
+
+    @pytest.mark.parametrize("scheduler_name", ["convergent", "rawcc", "uas"])
+    def test_serial_and_parallel_schedules_identical(
+        self, scheduler_name, engine2
+    ):
+        machine = MACHINES["raw4x4"]
+        program = build_benchmark("mxm", machine)
+        tasks = [
+            RegionTask(
+                index=i, region=region, machine=machine,
+                scheduler=make_scheduler(scheduler_name),
+                check_values=False, capture_errors=True,
+            )
+            for i, region in enumerate(program.regions)
+        ]
+        with CompilationEngine(jobs=1) as serial_engine:
+            serial = serial_engine.run_tasks(copy.deepcopy(tasks))
+        parallel = engine2.run_tasks(copy.deepcopy(tasks))
+        assert len(serial) == len(parallel) == len(program.regions)
+        for s, p in zip(serial, parallel):
+            assert s.index == p.index
+            assert s.schedule is not None and p.schedule is not None
+            assert self._flatten(s.schedule) == self._flatten(p.schedule)
+
+
+class TestCacheEquivalence:
+    """Warm reruns replay the cold run's numbers exactly."""
+
+    @pytest.mark.parametrize("machine_key", sorted(MACHINES))
+    @pytest.mark.parametrize("scheduler_name", SCHEDULERS)
+    def test_warm_rerun_matches_cold(self, scheduler_name, machine_key):
+        expected, cache = serial_ground_truth(scheduler_name, machine_key)
+        machine = MACHINES[machine_key]
+        before = cache.stats.to_dict()
+        ok_regions = 0
+        for benchmark in suite_for(machine_key):
+            program = build_benchmark(benchmark, machine)
+            warm = run_program(
+                program, machine, make_scheduler(scheduler_name),
+                check_values=False, cache=cache,
+            )
+            assert scrubbed(warm) == expected[benchmark], (
+                f"{scheduler_name}/{machine_key}/{benchmark}: "
+                "warm cache rerun diverged from cold run"
+            )
+            ok_regions += sum(1 for r in warm.regions if r.ok)
+        after = cache.stats.to_dict()
+        # Every region that succeeded cold was stored, so the warm pass
+        # must serve every one of them from the cache.
+        assert after["hits"] - before["hits"] == ok_regions
+        assert after["stores"] == before["stores"]
+
+    def test_parallel_cached_matches_serial(self):
+        """A parallel run *through* a cache (cold and warm passes) still
+        matches the serial ground truth; per-worker memory caches can
+        change hit counts, never numbers."""
+        expected, _ = serial_ground_truth("convergent", "vliw4")
+        machine = MACHINES["vliw4"]
+        cache = ScheduleCache()
+        with CompilationEngine(jobs=2, cache=cache) as engine:
+            for _ in range(2):  # cold, then (possibly) warm
+                for benchmark in suite_for("vliw4"):
+                    program = build_benchmark(benchmark, machine)
+                    result = run_program(
+                        program, machine, make_scheduler("convergent"),
+                        check_values=False, engine=engine,
+                    )
+                    assert scrubbed(result) == expected[benchmark]
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        """A disk-backed cache survives a fresh process-independent
+        cache object and still replays identical results."""
+        machine = MACHINES["vliw4"]
+        program = build_benchmark("fir", machine)
+        cold_cache = ScheduleCache(disk_dir=tmp_path)
+        cold = run_program(
+            program, machine, make_scheduler("convergent"),
+            check_values=False, cache=cold_cache,
+        )
+        warm_cache = ScheduleCache(disk_dir=tmp_path)
+        warm = run_program(
+            program, machine, make_scheduler("convergent"),
+            check_values=False, cache=warm_cache,
+        )
+        assert scrubbed(warm) == scrubbed(cold)
+        assert warm_cache.stats.hits == sum(1 for r in cold.regions if r.ok)
+
+    def test_cache_hit_outcome_flagged(self):
+        """run_tasks reports hit/miss status and replayed schedules."""
+        machine = MACHINES["vliw4"]
+        region = build_benchmark("vvmul", machine).regions[0]
+        cache = ScheduleCache()
+        task = RegionTask(
+            index=0, region=region, machine=machine,
+            scheduler=make_scheduler("convergent"), check_values=False,
+        )
+        with CompilationEngine(jobs=1, cache=cache) as engine:
+            cold = engine.run_tasks([copy.deepcopy(task)])[0]
+            warm = engine.run_tasks([copy.deepcopy(task)])[0]
+        assert cold.cache_status == "miss"
+        assert warm.cache_status == CACHE_HIT
+        assert warm.result.cycles == cold.result.cycles
+        assert TestSchedulesIdentical._flatten(
+            warm.schedule
+        ) == TestSchedulesIdentical._flatten(cold.schedule)
+
+
+class TestNoLostRegions:
+    """Index-keyed merge: every region yields exactly one result."""
+
+    @pytest.mark.parametrize("machine_key", sorted(MACHINES))
+    def test_region_result_association_by_index(self, machine_key, engine2):
+        machine = MACHINES[machine_key]
+        for benchmark in suite_for(machine_key)[:2]:
+            program = build_benchmark(benchmark, machine)
+            result = run_program(
+                program, machine, make_scheduler("convergent"),
+                check_values=False, engine=engine2,
+            )
+            assert [r.region_name for r in result.regions] == [
+                region.name for region in program.regions
+            ]
+
+    def test_declining_scheduler_equivalence(self, engine2):
+        """Captured per-region failures (a scheduler declining) merge
+        identically in serial and parallel mode — and the single-cluster
+        baseline genuinely declines on Raw, so the failure path is
+        actually exercised, not vacuously green."""
+        expected, _ = serial_ground_truth("single", "raw4x4")
+        machine = MACHINES["raw4x4"]
+        statuses = set()
+        for benchmark in suite_for("raw4x4"):
+            program = build_benchmark(benchmark, machine)
+            parallel = run_program(
+                program, machine, make_scheduler("single"),
+                check_values=False, engine=engine2,
+            )
+            assert scrubbed(parallel) == expected[benchmark]
+            statuses.update(r.status for r in parallel.regions)
+        assert "failed" in statuses

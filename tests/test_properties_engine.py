@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) for the schedule-cache fingerprint
+and the cache's isolation guarantees.
+
+Three families:
+
+* the canonical DDG fingerprint is *stable* under representation
+  details — building the same abstract graph in any topological
+  insertion order (different uids, different edge insertion order)
+  yields the same fingerprint;
+* the fingerprint is *sensitive* to everything that can change a
+  schedule — an opcode, a latency, the machine shape, the pass
+  sequence, the seed, the harness flags, the region name;
+* cached results never leak mutable state — mutating a schedule
+  returned by the cache cannot corrupt later lookups.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import ScheduleCache, ddg_fingerprint, schedule_key
+from repro.engine.fingerprint import canonical_permutation
+from repro.ir import Opcode, RegionBuilder
+from repro.machine import ClusteredVLIW, RawMachine
+
+_ARITH = [Opcode.ADD, Opcode.FADD, Opcode.FMUL, Opcode.SUB, Opcode.MUL]
+
+
+@st.composite
+def dag_recipes(draw, max_nodes=24):
+    """An abstract DAG: per-node kind and operand links by abstract id.
+
+    The recipe is independent of any insertion order, so the same graph
+    can be rebuilt along different topological orders.  Leaf constants
+    are unique and no two op nodes share an ``(opcode, a, b)`` triple:
+    that makes every node's structural hash distinct, which is the
+    precondition for a *stable* canonical order (the fingerprint's uid
+    tie-break may legitimately distinguish hash-identical twins — a
+    documented spurious miss, not a wrong hit).
+    """
+    n = draw(st.integers(min_value=4, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    nodes = []
+    triples = set()
+    for i in range(n):
+        if i < 2 or (rng.random() < 0.2 and i < n - 1):
+            nodes.append(("li", float(i + 1)))
+            continue
+        for _ in range(8):
+            op = _ARITH[int(rng.integers(len(_ARITH)))]
+            a = int(rng.integers(i))
+            b = int(rng.integers(i))
+            if (op, a, b) not in triples:
+                break
+        else:  # no unused triple found; fall back to a unique leaf
+            nodes.append(("li", float(i + 1)))
+            continue
+        triples.add((op, a, b))
+        nodes.append(("op", op, a, b))
+    return nodes
+
+
+def build_region(nodes, order_seed=None, name="prop"):
+    """Materialize a recipe as a region.
+
+    Args:
+        nodes: The abstract recipe from :func:`dag_recipes`.
+        order_seed: ``None`` builds in recipe order; otherwise nodes are
+            emitted in a random *valid* topological order drawn from
+            this seed (operands before users).
+        name: Region name (part of the cache key, so tests pin it).
+    """
+    order = list(range(len(nodes)))
+    if order_seed is not None:
+        rng = np.random.default_rng(order_seed)
+        placed = set()
+        order = []
+        remaining = list(range(len(nodes)))
+        while remaining:
+            ready = [
+                i for i in remaining
+                if nodes[i][0] == "li"
+                or (nodes[i][2] in placed and nodes[i][3] in placed)
+            ]
+            pick = ready[int(rng.integers(len(ready)))]
+            order.append(pick)
+            placed.add(pick)
+            remaining.remove(pick)
+    b = RegionBuilder(name)
+    values = {}
+    used = set()
+    for i in order:
+        node = nodes[i]
+        if node[0] == "li":
+            values[i] = b.li(node[1])
+        else:
+            _, op, a, bb = node
+            values[i] = b.op(op, values[a], values[bb])
+            used.update((a, bb))
+    for i in range(len(nodes)):
+        if i not in used:
+            b.live_out(values[i])
+    return b.build()
+
+
+class TestFingerprintStability:
+    @given(dag_recipes(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_insertion_order(self, nodes, order_seed):
+        """Isomorphic graphs built in different orders share a key."""
+        original = build_region(nodes)
+        shuffled = build_region(nodes, order_seed=order_seed)
+        assert ddg_fingerprint(original.ddg) == ddg_fingerprint(shuffled.ddg)
+        machine = ClusteredVLIW(2)
+        from repro.schedulers import UnifiedAssignAndSchedule
+
+        key_a = schedule_key(original, machine, UnifiedAssignAndSchedule())
+        key_b = schedule_key(shuffled, machine, UnifiedAssignAndSchedule())
+        assert key_a.key == key_b.key
+
+    @given(dag_recipes())
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_is_a_bijection(self, nodes):
+        region = build_region(nodes)
+        perm = canonical_permutation(region.ddg)
+        assert sorted(perm) == list(range(len(region.ddg)))
+
+
+class TestFingerprintSensitivity:
+    @given(dag_recipes())
+    @settings(max_examples=30, deadline=None)
+    def test_differs_under_opcode_change(self, nodes):
+        """Swapping one arithmetic opcode changes the graph key."""
+        mutated = list(nodes)
+        idx = max(i for i, node in enumerate(nodes) if node[0] == "op")
+        _, op, a, b = mutated[idx]
+        replacement = next(o for o in _ARITH if o is not op)
+        mutated[idx] = ("op", replacement, a, b)
+        assert ddg_fingerprint(build_region(nodes).ddg) != ddg_fingerprint(
+            build_region(mutated).ddg
+        )
+
+    @given(dag_recipes())
+    @settings(max_examples=15, deadline=None)
+    def test_differs_under_machine_and_latency_change(self, nodes):
+        from repro.schedulers import UnifiedAssignAndSchedule
+
+        region = build_region(nodes)
+        scheduler = UnifiedAssignAndSchedule()
+        base = schedule_key(region, ClusteredVLIW(4), scheduler).key
+        assert base != schedule_key(region, ClusteredVLIW(2), scheduler).key
+        assert base != schedule_key(region, RawMachine(2, 2), scheduler).key
+        slower = copy.deepcopy(ClusteredVLIW(4))
+        slower.latency_model.latencies[Opcode.FADD] += 1
+        assert base != schedule_key(region, slower, scheduler).key
+
+    @given(dag_recipes())
+    @settings(max_examples=15, deadline=None)
+    def test_differs_under_scheduler_and_run_perturbations(self, nodes):
+        from repro.core import ConvergentScheduler
+
+        region = build_region(nodes)
+        machine = ClusteredVLIW(2)
+        base = schedule_key(
+            region, machine, ConvergentScheduler(seed=0), check_values=True,
+        )
+        keys = {
+            "base": base.key,
+            "seed": schedule_key(
+                region, machine, ConvergentScheduler(seed=1),
+            ).key,
+            "sequence": schedule_key(
+                region, machine,
+                ConvergentScheduler(passes=["INITTIME", "COMM"], seed=0),
+            ).key,
+            "check_values": schedule_key(
+                region, machine, ConvergentScheduler(seed=0),
+                check_values=False,
+            ).key,
+            "verify": schedule_key(
+                region, machine, ConvergentScheduler(seed=0), verify=True,
+            ).key,
+        }
+        renamed = build_region(nodes, name="prop2")
+        keys["region_name"] = schedule_key(
+            renamed, machine, ConvergentScheduler(seed=0),
+        ).key
+        assert len(set(keys.values())) == len(keys), keys
+
+
+class TestCacheIsolation:
+    @given(dag_recipes(max_nodes=14))
+    @settings(max_examples=15, deadline=None)
+    def test_mutating_returned_schedule_never_corrupts_cache(self, nodes):
+        from repro.schedulers import UnifiedAssignAndSchedule
+        from repro.schedulers.schedule import ScheduledOp
+
+        region = build_region(nodes)
+        machine = ClusteredVLIW(2)
+        scheduler = UnifiedAssignAndSchedule()
+        schedule = scheduler.schedule(region, machine)
+        cache = ScheduleCache()
+        fingerprint = schedule_key(region, machine, scheduler)
+        cache.put(
+            fingerprint, schedule, cycles=7, transfers=1, utilization=0.5,
+            comm_busy=2, compile_seconds=0.1, verified=None, diagnostics=[],
+        )
+
+        def flat(s):
+            return sorted(
+                (op.uid, op.cluster, op.unit, op.start, op.latency)
+                for op in s.ops.values()
+            )
+
+        pristine = flat(schedule)
+        first = cache.get(fingerprint, region)
+        assert flat(first.schedule) == pristine
+        # Vandalize everything the hit handed out.
+        first.schedule.ops.clear()
+        first.schedule.ops[999] = ScheduledOp(999, 0, 0, 0, 1)
+        first.schedule.comms.append(None)
+        first.diagnostics.append("vandalized")
+        # Mutating the *stored* schedule must be invisible too.
+        schedule.ops.clear()
+        second = cache.get(fingerprint, region)
+        assert flat(second.schedule) == pristine
+        assert second.diagnostics == []
