@@ -21,12 +21,25 @@
 * ``verify`` — static legality verification: sweep schedulers ×
   benchmarks × machines through :mod:`repro.verify`, analyze pass
   contracts, and run differential (corrupted-schedule) campaigns;
-  exits nonzero on any ERROR diagnostic.
+  exits nonzero on any ERROR diagnostic;
+* ``cache`` — inspect the persistent schedule cache: ``stats``,
+  ``verify`` (checksum every entry; quarantines corrupt files), or
+  ``gc`` (purge quarantine and stale temp files);
+* ``resilience`` — seeded engine-level chaos storm
+  (:func:`repro.faults.run_resilience_campaign`): deadlines, hung and
+  killed workers, disk-cache corruption; exits nonzero unless every
+  region is accounted for.
+
+The hardened subcommands (``faults``, ``bench``, ``verify``, ``cache``,
+``resilience``) use distinct exit codes so CI can tell *why* a gate
+went red: 0 success, 1 genuine failure or regression, 2 operator /
+configuration error, 3 unexpected crash.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import re
 import sys
 import time
@@ -70,6 +83,48 @@ from .workloads import KERNELS, RAW_SUITE, VLIW_SUITE, build_benchmark
 #: the single source of truth, so ``repro verify`` and ``repro
 #: schedule`` can never disagree about what exists.
 SCHEDULERS = scheduler_registry()
+
+#: Process exit codes shared by the hardened subcommands: success,
+#: genuine failure/regression, operator/config error, unexpected crash.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_CONFIG = 2
+EXIT_CRASH = 3
+
+
+def _hardened(handler):
+    """Wrap a subcommand handler with the exit-code discipline.
+
+    Operator mistakes (unknown benchmark, bad machine spec, missing
+    file) exit :data:`EXIT_CONFIG`; anything else unexpected exits
+    :data:`EXIT_CRASH` — so a red CI gate distinguishes "you typo'd the
+    invocation" from "the tool itself fell over" from a genuine
+    regression (:data:`EXIT_FAILURE`, returned by the handler).
+
+    Args:
+        handler: A ``_cmd_*`` function returning an exit code.
+
+    Returns:
+        The wrapped handler.
+    """
+
+    @functools.wraps(handler)
+    def run(args: argparse.Namespace) -> int:
+        try:
+            return handler(args)
+        except (
+            KeyError,
+            ValueError,
+            FileNotFoundError,
+            argparse.ArgumentTypeError,
+        ) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_CONFIG
+        except Exception as exc:  # noqa: BLE001 - last-resort crash barrier
+            print(f"crash: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return EXIT_CRASH
+
+    return run
 
 
 def parse_machine(spec: str) -> Machine:
@@ -213,11 +268,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         guarded_fraction=args.guarded_fraction,
         jobs=args.jobs,
         cache=cache,
+        fail_fast=args.fail_fast,
     )
     print(report.render())
     if cache is not None:
         print(_render_cache_stats(cache))
-    return 0 if report.ok else 1
+    return EXIT_OK if report.ok else EXIT_FAILURE
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -262,7 +318,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             for c in report.cells
         ]
         if not report.ok:
-            exit_code = 1
+            exit_code = EXIT_FAILURE
 
     if args.contracts:
         reports = verify_pass_contracts(seed=args.seed)
@@ -275,7 +331,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(rep.render())
         payload["contracts"] = {n: r.to_dict() for n, r in reports.items()}
         if bad:
-            exit_code = 1
+            exit_code = EXIT_FAILURE
 
     if args.differential:
         from .faults import run_differential_campaign
@@ -323,12 +379,63 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 }
             )
             if not diff.ok:
-                exit_code = 1
+                exit_code = EXIT_FAILURE
 
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2))
         print(f"verification results written to {args.json}")
     return exit_code
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect, verify, or garbage-collect an on-disk schedule cache."""
+    from .engine import ScheduleCache
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        raise FileNotFoundError(f"no such cache directory: {args.dir}")
+    cache = ScheduleCache(disk_dir=root)
+    if args.action == "stats":
+        stats = cache.disk_stats()
+        print(
+            f"cache at {root}: {stats['entries']} entries, "
+            f"{stats['bytes']} bytes, {stats['quarantined']} quarantined, "
+            f"{stats['tmp_files']} tmp files"
+        )
+        return EXIT_OK
+    if args.action == "verify":
+        report = cache.verify_disk()
+        print(
+            f"cache verify at {root}: {report['checked']} checked, "
+            f"{report['ok']} ok, {report['corrupt']} corrupt, "
+            f"{report['version_skew']} version skew, "
+            f"{report['quarantined']} quarantined"
+        )
+        clean = report["corrupt"] == 0 and report["version_skew"] == 0
+        return EXIT_OK if clean else EXIT_FAILURE
+    removed = cache.gc()
+    print(
+        f"cache gc at {root}: {removed['quarantine_removed']} quarantined "
+        f"file(s) removed, {removed['tmp_removed']} temp file(s) removed"
+    )
+    return EXIT_OK
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    """Run the engine-level chaos storm and print its report."""
+    from .faults import run_resilience_campaign
+
+    report = run_resilience_campaign(
+        machine=parse_machine(args.machine),
+        n_regions=args.regions,
+        seed=args.seed,
+        jobs=args.jobs,
+        deadline_s=args.deadline,
+        kill_tolerance_s=args.kill_tolerance,
+        cache_dir=args.cache_dir,
+    )
+    print(report.render())
+    return EXIT_OK if report.ok else EXIT_FAILURE
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -462,7 +569,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.report:
             Path(args.report).write_text(comparison.to_markdown())
             print(f"markdown report written to {args.report}")
-        return 0 if comparison.ok else 1
+        return EXIT_OK if comparison.ok else EXIT_FAILURE
 
     machines = [parse_machine(s) for s in _split(args.machines)] if args.machines else None
     cache = _make_cache(args.cache)
@@ -489,7 +596,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 "run `repro bench` first to create the baseline",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_CONFIG
         baseline = BenchSnapshot.load(latest)
         comparison = compare_snapshots(
             baseline, snapshot, timing_tolerance=args.tolerance
@@ -502,7 +609,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.out:
             snapshot.save(args.out)
             print(f"snapshot written to {args.out}")
-        return 0 if comparison.ok else 1
+        return EXIT_OK if comparison.ok else EXIT_FAILURE
 
     path = Path(args.out) if args.out else next_snapshot_path()
     digits = re.findall(r"BENCH_(\d+)", path.name)
@@ -692,6 +799,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule cache directory (or 'mem'); trials store "
              "surviving schedules but never serve from the cache",
     )
+    faults.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop dispatching trials as soon as one crashes "
+             "(report is marked truncated)",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -729,6 +841,42 @@ def build_parser() -> argparse.ArgumentParser:
              "but every schedule is still statically verified",
     )
 
+    cache = sub.add_parser(
+        "cache", help="inspect the persistent schedule cache"
+    )
+    cache.add_argument(
+        "action", choices=["stats", "verify", "gc"],
+        help="stats: size summary; verify: checksum every entry "
+             "(quarantines corrupt files, exit 1 if any); gc: purge "
+             "quarantine and stale temp files",
+    )
+    cache.add_argument("--dir", required=True, help="cache directory")
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="seeded engine-level chaos storm: deadlines, worker kills, "
+             "cache corruption",
+    )
+    resilience.add_argument("--machine", default="raw4x4")
+    resilience.add_argument(
+        "--regions", type=int, default=200, help="synthetic regions to compile"
+    )
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument("--jobs", type=int, default=4)
+    resilience.add_argument(
+        "--deadline", type=float, default=0.25,
+        help="per-region compile budget in seconds",
+    )
+    resilience.add_argument(
+        "--kill-tolerance", type=float, default=1.0,
+        help="grace period past the deadline before a worker is killed",
+    )
+    resilience.add_argument(
+        "--cache-dir",
+        help="directory for the cache-corruption phase (default: a "
+             "temporary directory, removed afterwards)",
+    )
+
     search = sub.add_parser("search", help="hill-climb a pass sequence")
     search.add_argument("--machine", default="vliw4")
     search.add_argument("--benchmarks")
@@ -738,20 +886,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: The CI-gating subcommands run behind the :func:`_hardened` exit-code
+#: barrier; the interactive/reporting ones keep argparse's defaults.
 _COMMANDS = {
     "all": _cmd_all,
-    "bench": _cmd_bench,
+    "bench": _hardened(_cmd_bench),
+    "cache": _hardened(_cmd_cache),
     "list": _cmd_list,
     "schedule": _cmd_schedule,
     "table2": _cmd_table2,
     "fig8": _cmd_fig8,
     "fig10": _cmd_fig10,
     "convergence": _cmd_convergence,
-    "faults": _cmd_faults,
+    "faults": _hardened(_cmd_faults),
     "profile": _cmd_profile,
+    "resilience": _hardened(_cmd_resilience),
     "search": _cmd_search,
     "trace": _cmd_trace,
-    "verify": _cmd_verify,
+    "verify": _hardened(_cmd_verify),
 }
 
 

@@ -169,6 +169,10 @@ class ConvergentScheduler(Scheduler):
         self, region: Region, machine: Machine, tracer: Union[Tracer, NullTracer]
     ) -> ConvergentResult:
         """The body of :meth:`converge`, run inside its tracer span."""
+        # Stdlib-only import, deferred to keep repro.core free of any
+        # repro.engine import at module load (no cycle, cheap repeat).
+        from ..engine.resilience import active_budget
+
         ddg = region.ddg
         matrix = PreferenceMatrix.for_region(ddg, machine.n_clusters)
         trace = ConvergenceTrace(keep_snapshots=self.keep_snapshots)
@@ -178,8 +182,11 @@ class ConvergentScheduler(Scheduler):
         )
         passes = self._build_passes(machine)
         guard = PassGuard(quarantine_after=self.quarantine_after) if self.guard else None
+        budget = active_budget()
         for round_index in range(self.iterations):
             for scheduling_pass in passes:
+                if budget is not None:
+                    budget.check(f"pass {scheduling_pass.name}")
                 if round_index > 0 and scheduling_pass.name == "INITTIME":
                     continue  # feasibility never changes after round one
                 if guard is not None and guard.is_quarantined(scheduling_pass):
@@ -234,6 +241,8 @@ class ConvergentScheduler(Scheduler):
                         changed_fraction=record.changed_fraction, **delta
                     )
 
+        if budget is not None:
+            budget.check("extract_assignment")
         with tracer.span("extract_assignment", region=region.name):
             assignment = self.extract_assignment(matrix, region, machine)
         prefer_times = self.use_preferred_times

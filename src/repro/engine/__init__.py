@@ -15,9 +15,23 @@ single reported number:
 
 The contract, enforced by ``tests/test_engine.py``: ``jobs=N`` and
 warm-cache runs are cycle-identical to the classic serial harness.
+
+PR 6 adds :mod:`~repro.engine.resilience` — deadlines
+(:class:`Budget` / :func:`budget_scope`), retry with seeded backoff
+(:class:`RetryPolicy`), and per-(scheduler, machine) circuit breakers
+(:class:`CircuitBreaker` / :class:`BreakerBoard`) — wired into the
+engine through :class:`ResilienceConfig`; see ``docs/resilience.md``.
 """
 
-from .cache import CacheHit, CacheSpec, CacheStats, ScheduleCache
+from .cache import (
+    FILE_KIND,
+    FILE_VERSION,
+    QUARANTINE_DIR,
+    CacheHit,
+    CacheSpec,
+    CacheStats,
+    ScheduleCache,
+)
 from .fingerprint import (
     FINGERPRINT_FIELDS,
     FINGERPRINT_SCHEMA_VERSION,
@@ -37,21 +51,48 @@ from .pool import (
     TaskOutcome,
     worker_cache,
 )
+from .resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BreakerBoard,
+    Budget,
+    CircuitBreaker,
+    DeadlineExceeded,
+    ResilienceConfig,
+    RetryPolicy,
+    active_budget,
+    budget_scope,
+)
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerBoard",
+    "Budget",
     "CACHE_HIT",
     "CACHE_MISS",
     "CACHE_OFF",
     "CacheHit",
     "CacheSpec",
     "CacheStats",
+    "CircuitBreaker",
     "CompilationEngine",
+    "DeadlineExceeded",
+    "FILE_KIND",
+    "FILE_VERSION",
     "FINGERPRINT_FIELDS",
     "FINGERPRINT_SCHEMA_VERSION",
     "Fingerprint",
+    "QUARANTINE_DIR",
     "RegionTask",
+    "ResilienceConfig",
+    "RetryPolicy",
     "ScheduleCache",
     "TaskOutcome",
+    "active_budget",
+    "budget_scope",
     "canonical_permutation",
     "ddg_fingerprint",
     "machine_fingerprint",

@@ -18,8 +18,18 @@ Two layers:
   cached copy;
 * **disk** (optional) — one ``<key>.json`` per entry under a cache
   directory, written atomically (temp file + rename) so concurrent
-  workers sharing the directory never observe torn entries.  Corrupt or
-  truncated files degrade to a miss.
+  workers sharing the directory never observe torn entries.
+
+The disk layer is **crash-safe**: every file is a self-describing
+wrapper (``kind``/``file_version``) carrying a SHA-256 checksum over
+the entry payload.  A file that is unreadable, truncated, bit-flipped,
+or written by an incompatible version *never* raises into a compile —
+it degrades to a miss, is counted (``stats.corrupt``), and is moved to
+a ``quarantine/`` subdirectory for post-mortem (``stats.quarantined``)
+so the same corruption is never re-read.  :meth:`ScheduleCache.
+verify_disk` audits a whole directory, :meth:`ScheduleCache.gc` empties
+the quarantine and prunes stale temp files; both back the ``repro
+cache`` CLI verb.
 
 Invalidation is purely by fingerprint: any change to the DDG, machine,
 scheduler configuration, seed, or harness flags produces a different
@@ -30,6 +40,7 @@ orphans every old entry at once.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -47,8 +58,23 @@ PathLike = Union[str, Path]
 #: The ``kind`` discriminator of a serialized cache entry.
 ENTRY_KIND = "schedule_cache_entry"
 
+#: The ``kind`` discriminator of the checksummed on-disk wrapper.
+FILE_KIND = "schedule_cache_file"
+
+#: Bump on any incompatible change to the on-disk wrapper format; files
+#: with a different version are quarantined, never misread.
+FILE_VERSION = 1
+
+#: Subdirectory corrupt/version-skewed entry files are moved into.
+QUARANTINE_DIR = "quarantine"
+
 #: Default number of entries the in-memory LRU retains.
 DEFAULT_CAPACITY = 512
+
+
+def _payload_checksum(payload: str) -> str:
+    """SHA-256 hex digest of one entry's serialized payload."""
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -97,12 +123,20 @@ class CacheHit:
 
 @dataclass
 class CacheStats:
-    """Monotonic counters describing one cache's traffic."""
+    """Monotonic counters describing one cache's traffic.
+
+    ``corrupt`` counts entries that failed decoding or checksum
+    verification (each also counted as a miss — corruption never
+    raises); ``quarantined`` counts the subset whose on-disk file was
+    successfully moved into the ``quarantine/`` subdirectory.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    corrupt: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -121,6 +155,8 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
         }
 
     def merge(self, other: Dict[str, int]) -> None:
@@ -129,6 +165,8 @@ class CacheStats:
         self.misses += int(other.get("misses", 0))
         self.stores += int(other.get("stores", 0))
         self.evictions += int(other.get("evictions", 0))
+        self.corrupt += int(other.get("corrupt", 0))
+        self.quarantined += int(other.get("quarantined", 0))
 
 
 def _schedule_to_canonical(
@@ -277,8 +315,12 @@ class ScheduleCache:
                 diagnostics=list(entry.get("diagnostics", [])),
             )
         except (KeyError, ValueError, TypeError, IndexError):
-            # A malformed entry (schema drift, truncation) is a miss.
+            # A malformed entry (schema drift, truncation) is a miss —
+            # counted, quarantined on disk, never raised into a compile.
             self._memory.pop(fingerprint.key, None)
+            self.stats.corrupt += 1
+            if self.disk_dir is not None:
+                self._quarantine(self._disk_path(fingerprint.key))
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -355,15 +397,102 @@ class ScheduleCache:
         """On-disk location of one entry."""
         return self.disk_dir / f"{key}.json"
 
-    def _disk_read(self, key: str) -> Optional[str]:
-        """Read one entry's text from disk; ``None`` when absent/bad."""
+    def _quarantine_dir(self) -> Path:
+        """The quarantine subdirectory (not created until needed)."""
+        return self.disk_dir / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path) -> bool:
+        """Move one bad entry file into ``quarantine/``; count it.
+
+        Args:
+            path: The corrupt/skewed file.  A path that no longer
+                exists (or cannot be moved) is simply not quarantined.
+
+        Returns:
+            True when the file was moved.
+        """
         try:
-            return self._disk_path(key).read_text()
+            if not path.exists():
+                return False
+            target_dir = self._quarantine_dir()
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(str(path), str(target_dir / path.name))
+        except OSError:
+            return False
+        self.stats.quarantined += 1
+        return True
+
+    @staticmethod
+    def _unwrap(text: str) -> str:
+        """Validate one on-disk wrapper and return the entry payload.
+
+        Args:
+            text: Raw file contents.
+
+        Returns:
+            The checksummed entry payload.
+
+        Raises:
+            ValueError: On any wrapper problem — not JSON, wrong
+                ``kind``, version skew, or checksum mismatch.
+        """
+        wrapper = json.loads(text)
+        if not isinstance(wrapper, dict):
+            raise ValueError("cache file is not an object")
+        if wrapper.get("kind") != FILE_KIND:
+            raise ValueError(f"unexpected cache file kind {wrapper.get('kind')!r}")
+        if wrapper.get("file_version") != FILE_VERSION:
+            raise ValueError(
+                f"cache file version skew: {wrapper.get('file_version')!r}"
+            )
+        payload = wrapper.get("payload")
+        if not isinstance(payload, str):
+            raise ValueError("cache file payload missing")
+        if wrapper.get("sha256") != _payload_checksum(payload):
+            raise ValueError("cache file checksum mismatch")
+        return payload
+
+    def _disk_read(self, key: str) -> Optional[str]:
+        """Read and verify one entry's payload from disk.
+
+        A missing file is a plain miss.  An unreadable, corrupt,
+        truncated, or version-skewed file is counted (``corrupt``),
+        quarantined, and reported as a miss — disk damage can degrade
+        hit rate, never a compile.
+
+        Args:
+            key: The fingerprint key of the entry.
+
+        Returns:
+            The verified payload text, or ``None``.
+        """
+        path = self._disk_path(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
         except (OSError, UnicodeDecodeError):
+            self.stats.corrupt += 1
+            self._quarantine(path)
+            return None
+        try:
+            return self._unwrap(text)
+        except (ValueError, TypeError):
+            self.stats.corrupt += 1
+            self._quarantine(path)
             return None
 
     def _disk_write(self, key: str, text: str) -> None:
-        """Atomically persist one entry (temp file + rename)."""
+        """Atomically persist one entry (checksummed wrapper + rename)."""
+        wrapped = json.dumps(
+            {
+                "kind": FILE_KIND,
+                "file_version": FILE_VERSION,
+                "sha256": _payload_checksum(text),
+                "payload": text,
+            },
+            sort_keys=True,
+        )
         try:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -371,7 +500,7 @@ class ScheduleCache:
             )
             try:
                 with os.fdopen(fd, "w") as handle:
-                    handle.write(text)
+                    handle.write(wrapped)
                 os.replace(tmp_name, self._disk_path(key))
             except BaseException:
                 try:
@@ -381,3 +510,100 @@ class ScheduleCache:
                 raise
         except OSError:  # pragma: no cover - disk layer is best-effort
             pass
+
+    # ------------------------------------------------------------------
+    # Disk maintenance (the `repro cache` CLI verb)
+    # ------------------------------------------------------------------
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Census of the disk layer: entries, bytes, quarantine backlog.
+
+        Returns:
+            ``{"entries", "bytes", "quarantined", "tmp_files"}`` counts
+            (all zero for a memory-only cache).
+        """
+        stats = {"entries": 0, "bytes": 0, "quarantined": 0, "tmp_files": 0}
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return stats
+        for path in self.disk_dir.iterdir():
+            if path.is_file() and path.suffix == ".json":
+                stats["entries"] += 1
+                stats["bytes"] += path.stat().st_size
+            elif path.is_file() and path.suffix == ".tmp":
+                stats["tmp_files"] += 1
+        quarantine = self._quarantine_dir()
+        if quarantine.exists():
+            stats["quarantined"] = sum(
+                1 for p in quarantine.iterdir() if p.is_file()
+            )
+        return stats
+
+    def verify_disk(self) -> Dict[str, int]:
+        """Audit every on-disk entry; quarantine the bad ones.
+
+        Each ``<key>.json`` is checked end to end: wrapper shape, file
+        version, SHA-256 checksum, entry JSON, entry ``kind``, and
+        fingerprint ``schema_version``.  Files failing any check are
+        moved to ``quarantine/`` and counted.
+
+        Returns:
+            ``{"checked", "ok", "corrupt", "version_skew",
+            "quarantined"}`` counts for the scan.
+        """
+        report = {
+            "checked": 0, "ok": 0, "corrupt": 0,
+            "version_skew": 0, "quarantined": 0,
+        }
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return report
+        before_quarantined = self.stats.quarantined
+        for path in sorted(self.disk_dir.iterdir()):
+            if not (path.is_file() and path.suffix == ".json"):
+                continue
+            report["checked"] += 1
+            problem: Optional[str] = None
+            try:
+                payload = self._unwrap(path.read_text())
+                entry = json.loads(payload)
+                if entry.get("kind") != ENTRY_KIND:
+                    problem = "corrupt"
+                elif entry.get("schema_version") != FINGERPRINT_SCHEMA_VERSION:
+                    problem = "version_skew"
+            except ValueError as exc:
+                problem = "version_skew" if "version skew" in str(exc) else "corrupt"
+            except (OSError, UnicodeDecodeError, TypeError):
+                problem = "corrupt"
+            if problem is None:
+                report["ok"] += 1
+            else:
+                report[problem] += 1
+                self.stats.corrupt += 1
+                self._quarantine(path)
+        report["quarantined"] = self.stats.quarantined - before_quarantined
+        return report
+
+    def gc(self) -> Dict[str, int]:
+        """Empty the quarantine and remove stale temp files.
+
+        Returns:
+            ``{"quarantine_removed", "tmp_removed"}`` counts.
+        """
+        removed = {"quarantine_removed": 0, "tmp_removed": 0}
+        if self.disk_dir is None or not self.disk_dir.exists():
+            return removed
+        quarantine = self._quarantine_dir()
+        if quarantine.exists():
+            for path in quarantine.iterdir():
+                try:
+                    path.unlink()
+                    removed["quarantine_removed"] += 1
+                except OSError:
+                    pass
+        for path in self.disk_dir.iterdir():
+            if path.is_file() and path.suffix == ".tmp":
+                try:
+                    path.unlink()
+                    removed["tmp_removed"] += 1
+                except OSError:
+                    pass
+        return removed

@@ -87,6 +87,7 @@ FINGERPRINT_FIELDS: Dict[str, Tuple[str, ...]] = {
         "region_name",
         "check_values",
         "verify",
+        "deadline_s",
         "schema_version",
     ),
 }
@@ -359,13 +360,17 @@ def schedule_key(
     scheduler: Scheduler,
     check_values: bool = True,
     verify: bool = False,
+    deadline_s: Optional[float] = None,
 ) -> Fingerprint:
     """Fingerprint one scheduling request end to end.
 
     The composite payload is the canonical DDG, the machine payload,
     the scheduler payload, the ``region_name`` (the convergent
     scheduler derives its per-region noise stream from it), the
-    ``check_values`` / ``verify`` harness flags, and the
+    ``check_values`` / ``verify`` harness flags, the compile
+    ``deadline_s`` (only when one is set — a deadline can change the
+    result by forcing fallback degradation, so budgeted results must
+    never be served to unbudgeted requests or vice versa), and the
     ``schema_version``.
 
     Args:
@@ -374,6 +379,8 @@ def schedule_key(
         scheduler: The scheduler that would produce the schedule.
         check_values: Whether the harness will replay dataflow.
         verify: Whether the harness will run the static verifier.
+        deadline_s: The task's compile budget; ``None`` (no deadline)
+            keeps the key identical to the pre-resilience schema.
 
     Returns:
         The :class:`Fingerprint` (key + canonical permutation).
@@ -388,4 +395,6 @@ def schedule_key(
         "check_values": bool(check_values),
         "verify": bool(verify),
     }
+    if deadline_s is not None:
+        payload["deadline_s"] = float(deadline_s)
     return Fingerprint(key=_digest(payload), permutation=permutation)

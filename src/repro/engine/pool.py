@@ -30,14 +30,16 @@ from __future__ import annotations
 import contextlib
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import multiprocessing
 
 from ..harness.experiment import (
+    STATUS_TIMEOUT,
     RegionResult,
     _record_region_metrics,
     _run_region,
@@ -50,6 +52,13 @@ from ..schedulers.base import Scheduler
 from ..schedulers.schedule import Schedule
 from .cache import CacheSpec, ScheduleCache
 from .fingerprint import Fingerprint, schedule_key
+from .resilience import (
+    BreakerBoard,
+    Budget,
+    CircuitBreaker,
+    ResilienceConfig,
+    budget_scope,
+)
 
 #: ``TaskOutcome.cache_status`` values.
 CACHE_OFF = "off"
@@ -76,6 +85,14 @@ class RegionTask:
             private registry returned on the outcome.
         trace: Record scheduling/simulation spans into a private tracer
             returned (serialized) on the outcome.
+        deadline_s: Per-task compile budget in seconds; ``None`` (the
+            default) means unbudgeted.  A resilient engine fills this
+            from its :class:`~repro.engine.resilience.ResilienceConfig`.
+        route_level: Minimum :class:`~repro.schedulers.fallback.
+            FallbackChain` member this task may use (0 = primary); a
+            tripped circuit breaker raises it so the task skips the
+            failing primary.  Ignored for schedulers without a
+            ``min_level`` attribute.
     """
 
     index: int
@@ -87,6 +104,8 @@ class RegionTask:
     verify: bool = False
     collect_metrics: bool = False
     trace: bool = False
+    deadline_s: Optional[float] = None
+    route_level: int = 0
 
 
 @dataclass
@@ -109,6 +128,14 @@ class TaskOutcome:
         cache_stats: Delta of the executing cache's counters caused by
             this task (empty when caching was off).
         worker: pid of the process that executed the task.
+        attempts: Executions this task took (1 = first try succeeded);
+            retries and inline rescues each add one.
+        timed_out: True when the task overran its compile budget — the
+            result is either :data:`~repro.harness.experiment.
+            STATUS_TIMEOUT` or a degraded rescue by a fallback member.
+        degradation_level: ``FallbackReport.level`` of the run that
+            produced the result (0 = primary member or non-chain
+            scheduler; >0 = a fallback member served it).
     """
 
     index: int
@@ -119,6 +146,9 @@ class TaskOutcome:
     cache_status: str = CACHE_OFF
     cache_stats: Dict[str, int] = field(default_factory=dict)
     worker: int = 0
+    attempts: int = 1
+    timed_out: bool = False
+    degradation_level: int = 0
 
 
 def _execute_region_task(
@@ -141,6 +171,11 @@ def _execute_region_task(
         result=None,  # type: ignore[arg-type]  # filled below
         worker=os.getpid(),
     )
+    # Install the breaker's routing floor *before* the cache key is
+    # computed: ``min_level`` is part of the scheduler fingerprint, so
+    # routed (degraded) results can never poison unrouted cache slots.
+    if hasattr(task.scheduler, "min_level"):
+        task.scheduler.min_level = task.route_level
 
     def _run() -> None:
         fingerprint: Optional[Fingerprint] = None
@@ -152,6 +187,7 @@ def _execute_region_task(
                 task.scheduler,
                 check_values=task.check_values,
                 verify=task.verify,
+                deadline_s=task.deadline_s,
             )
             lookup_started = time.perf_counter()
             hit = cache.get(fingerprint, task.region)
@@ -183,6 +219,9 @@ def _execute_region_task(
             scheduler_ran = True
             outcome.result = result
             outcome.schedule = schedule
+            report = getattr(task.scheduler, "last_report", None)
+            if report is not None:
+                outcome.degradation_level = report.level
             if fingerprint is not None and result.ok and schedule is not None:
                 cache.put(
                     fingerprint,
@@ -208,11 +247,19 @@ def _execute_region_task(
                 region=task.region.name,
             )
 
-    if tracer is not None:
-        with tracing(tracer):
+    def _invoke() -> None:
+        if tracer is not None:
+            with tracing(tracer):
+                _run()
+        else:
             _run()
+
+    if task.deadline_s is not None:
+        with budget_scope(Budget(deadline_s=task.deadline_s)):
+            _invoke()
     else:
-        _run()
+        _invoke()
+    outcome.timed_out = outcome.result.status == STATUS_TIMEOUT
 
     if cache is not None:
         after = cache.stats.to_dict()
@@ -311,6 +358,18 @@ class CompilationEngine:
             equivalent cache from its :meth:`~ScheduleCache.spec` (a
             disk-backed cache is then genuinely shared through the
             filesystem; a memory-only cache becomes per-worker).
+        resilience: Optional :class:`~repro.engine.resilience.
+            ResilienceConfig`.  ``None`` (the default) keeps the classic
+            PR 5 execution path byte-for-byte; when set, ``run_tasks``
+            switches to the resilient path: per-task deadlines (checked
+            cooperatively in workers, enforced preemptively by killing
+            overrunning workers), :class:`~repro.engine.resilience.
+            RetryPolicy`-bounded retries with deterministic backoff,
+            and per-(scheduler, machine) circuit breakers that route
+            tasks past a repeatedly-failing primary.  Everything the
+            resilient path does is counted in :attr:`telemetry` under
+            ``resilience.*`` (see :data:`~repro.observability.metrics.
+            RESILIENCE_COUNTERS`).
 
     The executor is created lazily on first parallel use and should be
     released with :meth:`close` (or by using the engine as a context
@@ -319,15 +378,29 @@ class CompilationEngine:
     unaffected, and :attr:`pool_breaks` counts the incident.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ScheduleCache] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ScheduleCache] = None,
+        resilience: Optional[ResilienceConfig] = None,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
+        self.resilience = resilience
+        self.telemetry = MetricsRegistry()
         self.pool_breaks = 0
         self.retried_tasks = 0
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
+        self._respawns = 0
+        self._board: Optional[BreakerBoard] = None
+        if resilience is not None and resilience.breaker_enabled:
+            self._board = BreakerBoard(
+                failure_threshold=resilience.breaker_threshold,
+                cooldown_tasks=resilience.breaker_cooldown,
+            )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -392,6 +465,8 @@ class CompilationEngine:
         Returns:
             One :class:`TaskOutcome` per task, sorted by task index.
         """
+        if self.resilience is not None:
+            return self._run_tasks_resilient(tasks)
         outcomes: Dict[int, TaskOutcome] = {}
         executor = self._pool()
         pending: List[RegionTask] = list(tasks)
@@ -422,6 +497,258 @@ class CompilationEngine:
             with _as_worker_cache(self.cache):
                 outcomes[task.index] = _execute_region_task(task, self.cache)
         return [outcomes[task.index] for task in sorted(tasks, key=lambda t: t.index)]
+
+    # -- resilient execution -------------------------------------------
+
+    def _run_inline(self, task: RegionTask) -> TaskOutcome:
+        """Execute one task in the parent with the engine's cache."""
+        with _as_worker_cache(self.cache):
+            return _execute_region_task(task, self.cache)
+
+    def _breaker_for(self, task: RegionTask) -> Optional[CircuitBreaker]:
+        """This task's circuit breaker, or ``None``.
+
+        Breakers only apply to schedulers that can actually degrade —
+        i.e. expose a ``min_level`` routing floor (FallbackChain).
+
+        Args:
+            task: The task whose (scheduler, machine) cell is keyed.
+
+        Returns:
+            The cell's breaker, or ``None`` when breakers are disabled
+            or the scheduler cannot be routed.
+        """
+        if self._board is None or not hasattr(task.scheduler, "min_level"):
+            return None
+        return self._board.breaker(task.scheduler.name, task.machine.name)
+
+    def _route(self, task: RegionTask) -> None:
+        """Consult the circuit breaker and set the task's route level."""
+        breaker = self._breaker_for(task)
+        if breaker is None:
+            return
+        probes_before = breaker.probes
+        level = breaker.route()
+        if breaker.probes > probes_before:
+            self.telemetry.inc("resilience.breaker_probes")
+        if level > task.route_level:
+            task.route_level = level
+            self.telemetry.inc("resilience.breaker_routed")
+
+    def _record_breaker(self, task: RegionTask, outcome: TaskOutcome) -> None:
+        """Report a finished task's primary outcome to its breaker."""
+        breaker = self._breaker_for(task)
+        if breaker is None or task.route_level > 0:
+            return  # routed task: the primary never ran, nothing to judge
+        primary_ok = (
+            outcome.result.ok
+            and not outcome.timed_out
+            and outcome.degradation_level == 0
+        )
+        trips_before, resets_before = breaker.trips, breaker.resets
+        breaker.record(primary_ok)
+        if breaker.trips > trips_before:
+            self.telemetry.inc("resilience.breaker_trips")
+        if breaker.resets > resets_before:
+            self.telemetry.inc("resilience.breaker_resets")
+
+    def _absorb(
+        self,
+        task: RegionTask,
+        attempt: int,
+        outcome: TaskOutcome,
+        outcomes: Dict[int, TaskOutcome],
+    ) -> None:
+        """Fold one finished outcome into the merge map + telemetry."""
+        outcome.attempts = max(outcome.attempts, attempt)
+        if outcome.timed_out:
+            self.telemetry.inc("resilience.timeouts")
+        if self.cache is not None and outcome.worker != os.getpid():
+            self.cache.stats.merge(outcome.cache_stats)
+        self._record_breaker(task, outcome)
+        outcomes[task.index] = outcome
+
+    def _wave_timeout(self, wave: Sequence[Tuple[RegionTask, int]]) -> Optional[float]:
+        """How long to wait on one wave of futures before killing.
+
+        Args:
+            wave: The (task, attempt) pairs submitted together.
+
+        Returns:
+            ``max(deadline_s) + kill_tolerance_s`` over the wave, or
+            ``None`` (wait forever) when no task carries a deadline.
+        """
+        deadlines = [t.deadline_s for t, _ in wave if t.deadline_s is not None]
+        if not deadlines:
+            return None
+        assert self.resilience is not None
+        return max(deadlines) + self.resilience.kill_tolerance_s
+
+    def _respawn_pool(self) -> None:
+        """Kill the current worker pool so the next wave gets a new one.
+
+        Terminates worker processes (an uncooperatively hung task
+        cannot be stopped any other way), counts the respawn, and —
+        past ``max_pool_respawns`` — gives up on pooling entirely so
+        the run finishes inline instead of thrashing."""
+        executor = self._executor
+        if executor is None:
+            return
+        self._executor = None
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 - best-effort kill
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        self._respawns += 1
+        self.telemetry.inc("resilience.pool_respawns")
+        assert self.resilience is not None
+        if self._respawns >= self.resilience.max_pool_respawns:
+            self._mark_broken()
+
+    def _rescue_timeout(self, task: RegionTask, attempt: int) -> TaskOutcome:
+        """Resolve a task whose worker was preemptively killed.
+
+        A chain-backed task is re-run inline with its route level
+        bumped past the member that burned the budget; anything else
+        is resolved as a :data:`~repro.harness.experiment.
+        STATUS_TIMEOUT` result so the region is never lost.
+
+        Args:
+            task: The killed task.
+            attempt: The attempt number that timed out.
+
+        Returns:
+            The resolved outcome (degraded-ok or timeout), with
+            ``timed_out=True`` either way.
+        """
+        members = getattr(task.scheduler, "schedulers", None)
+        can_degrade = (
+            hasattr(task.scheduler, "min_level")
+            and members is not None
+            and task.route_level + 1 < len(members)
+        )
+        if can_degrade:
+            # The primary burned the whole budget: charge its breaker
+            # while ``route_level`` still says the primary ran.
+            breaker = self._breaker_for(task)
+            if breaker is not None and task.route_level == 0:
+                trips_before = breaker.trips
+                breaker.record(False)
+                if breaker.trips > trips_before:
+                    self.telemetry.inc("resilience.breaker_trips")
+            task.route_level += 1
+            self.telemetry.inc("resilience.rescues")
+            outcome = self._run_inline(task)
+            outcome.attempts = attempt + 1
+            outcome.timed_out = True
+            return outcome
+        deadline = float(task.deadline_s or 0.0)
+        result = RegionResult(
+            region_name=task.region.name,
+            cycles=0,
+            transfers=0,
+            utilization=0.0,
+            compile_seconds=deadline,
+            n_instructions=len(task.region.ddg),
+            status=STATUS_TIMEOUT,
+            error=(
+                f"DeadlineExceeded: worker overran the {deadline:.3f}s "
+                "compile budget and was killed"
+            ),
+        )
+        return TaskOutcome(
+            index=task.index,
+            result=result,
+            worker=os.getpid(),
+            attempts=attempt,
+            timed_out=True,
+        )
+
+    def _handle_worker_error(
+        self,
+        task: RegionTask,
+        attempt: int,
+        exc: BaseException,
+        queue: "Deque[Tuple[RegionTask, int]]",
+        outcomes: Dict[int, TaskOutcome],
+    ) -> None:
+        """Classify one worker-side failure: retry, rescue, or raise."""
+        assert self.resilience is not None
+        policy = self.resilience.retry
+        if isinstance(exc, BrokenProcessPool):
+            self._respawn_pool()
+        if policy.is_retryable(exc) and attempt < policy.max_attempts:
+            self.telemetry.inc("resilience.retries")
+            delay = policy.delay_for(attempt + 1, key=task.region.name)
+            if delay > 0:
+                time.sleep(delay)
+            queue.append((task, attempt + 1))
+            return
+        if policy.is_retryable(exc) or task.capture_errors:
+            # Retries exhausted (or terminal-but-captured): finish the
+            # task inline in the parent so no region is ever lost.
+            self.telemetry.inc("resilience.rescues")
+            outcome = self._run_inline(task)
+            self._absorb(task, attempt + 1, outcome, outcomes)
+            return
+        raise exc
+
+    def _run_tasks_resilient(self, tasks: Sequence[RegionTask]) -> List[TaskOutcome]:
+        """The resilient counterpart of :meth:`run_tasks`.
+
+        Tasks are submitted in waves of ``jobs`` and awaited with a
+        deadline-derived timeout; futures still running past it have
+        their workers killed and are rescued inline (degraded through
+        the fallback chain when possible, resolved as ``TIMEOUT``
+        otherwise).  Retryable infrastructure failures re-queue the
+        task per the :class:`~repro.engine.resilience.RetryPolicy`;
+        circuit breakers route tasks past repeatedly-failing primaries.
+
+        Args:
+            tasks: The work items (unique indices, as in ``run_tasks``).
+
+        Returns:
+            One outcome per task, sorted by task index — never fewer.
+        """
+        assert self.resilience is not None
+        outcomes: Dict[int, TaskOutcome] = {}
+        queue: Deque[Tuple[RegionTask, int]] = deque()
+        for task in tasks:
+            if task.deadline_s is None:
+                task.deadline_s = self.resilience.deadline_s
+            queue.append((task, 1))
+        while queue:
+            executor = self._pool()
+            if executor is None:
+                # Serial (or given-up pool): cooperative deadlines only.
+                task, attempt = queue.popleft()
+                self._route(task)
+                outcome = self._run_inline(task)
+                self._absorb(task, attempt, outcome, outcomes)
+                continue
+            wave = [queue.popleft() for _ in range(min(len(queue), self.jobs))]
+            futures: Dict[Future, Tuple[RegionTask, int]] = {}
+            for task, attempt in wave:
+                self._route(task)
+                futures[executor.submit(_pool_run_task, task)] = (task, attempt)
+            _, not_done = wait(list(futures), timeout=self._wave_timeout(wave))
+            if not_done:
+                self.telemetry.inc("resilience.preemptive_kills", len(not_done))
+                self._respawn_pool()
+            for future, (task, attempt) in futures.items():
+                if future in not_done:
+                    outcome = self._rescue_timeout(task, attempt)
+                    self._absorb(task, attempt, outcome, outcomes)
+                    continue
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # noqa: BLE001 - worker boundary
+                    self._handle_worker_error(task, attempt, exc, queue, outcomes)
+                    continue
+                self._absorb(task, attempt, outcome, outcomes)
+        return [outcomes[t.index] for t in sorted(tasks, key=lambda t: t.index)]
 
     # -- generic fan-out -----------------------------------------------
 

@@ -67,11 +67,17 @@ class InjectionOutcome:
 
 @dataclass
 class CampaignReport:
-    """Aggregate of a full fault-injection campaign."""
+    """Aggregate of a full fault-injection campaign.
+
+    ``truncated`` is True when the campaign stopped early because
+    ``fail_fast`` was set and a trial crashed; the outcomes list then
+    holds only the trials that actually ran.
+    """
 
     machine_name: str
     seed: int
     outcomes: List[InjectionOutcome] = field(default_factory=list)
+    truncated: bool = False
 
     @property
     def n_trials(self) -> int:
@@ -100,7 +106,8 @@ class CampaignReport:
         """Plain-text campaign summary."""
         lines = [
             f"fault-injection campaign on {self.machine_name} "
-            f"(seed {self.seed}): {self.n_trials} trials",
+            f"(seed {self.seed}): {self.n_trials} trials"
+            + (" [truncated: fail-fast]" if self.truncated else ""),
             f"  survived:            {self.n_trials - len(self.crashes)}"
             f"/{self.n_trials}",
             f"  guard rollbacks:     {self.count(DEFENSE_ROLLBACK)}",
@@ -240,6 +247,7 @@ def run_campaign(
     verify: bool = False,
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
+    fail_fast: bool = False,
 ) -> CampaignReport:
     """Inject ``n_trials`` faults and report how each was survived.
 
@@ -266,6 +274,11 @@ def run_campaign(
             Trials *store* surviving schedules but never serve from the
             cache (see :func:`_run_trial`), so classification stays
             faithful.
+        fail_fast: Stop dispatching new trial chunks as soon as one
+            trial crashes (``defense == "crash"``); the report is then
+            marked ``truncated``.  Outcomes that already ran keep their
+            trial numbers, so a truncated report is a prefix of the
+            full one.
     """
     if not regions:
         raise ValueError("campaign needs at least one region")
@@ -305,10 +318,20 @@ def run_campaign(
     from ..engine.pool import CompilationEngine
 
     engine = CompilationEngine(jobs=jobs, cache=cache)
+    report = CampaignReport(machine_name=machine.name, seed=seed)
     try:
-        outcomes = engine.map(_run_trial, plans)
+        if not fail_fast:
+            report.outcomes.extend(engine.map(_run_trial, plans))
+            return report
+        # Fail-fast: dispatch in chunks so a crash stops the campaign
+        # within one chunk instead of after all n_trials.
+        chunk_size = max(jobs, 1) * 4
+        for start in range(0, len(plans), chunk_size):
+            chunk = plans[start : start + chunk_size]
+            report.outcomes.extend(engine.map(_run_trial, chunk))
+            if any(o.defense == DEFENSE_NONE for o in report.outcomes):
+                report.truncated = start + chunk_size < len(plans)
+                break
+        return report
     finally:
         engine.close()
-    report = CampaignReport(machine_name=machine.name, seed=seed)
-    report.outcomes.extend(outcomes)
-    return report

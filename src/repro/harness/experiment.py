@@ -26,6 +26,7 @@ from ..sim.simulator import SimulationReport, simulate
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.cache import ScheduleCache
     from ..engine.pool import CompilationEngine
+    from ..engine.resilience import ResilienceConfig
 
 #: Region/program completed with a verified schedule.
 STATUS_OK = "ok"
@@ -34,6 +35,10 @@ STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 #: Program-level only: some regions succeeded, some failed.
 STATUS_PARTIAL = "partial"
+#: Region-level only: the region overran its compile budget
+#: (:exc:`repro.engine.resilience.DeadlineExceeded`) and no fallback
+#: could absorb the timeout.  Counts as not-ok, like ``failed``.
+STATUS_TIMEOUT = "timeout"
 
 
 @dataclass
@@ -210,8 +215,11 @@ def _run_region(
             if not vreport.ok:
                 raise VerificationError(vreport)
     except Exception as exc:  # noqa: BLE001 - harness boundary
-        if not capture_errors:
+        from ..engine.resilience import DeadlineExceeded
+
+        if not capture_errors and not isinstance(exc, DeadlineExceeded):
             raise
+        status = STATUS_TIMEOUT if isinstance(exc, DeadlineExceeded) else STATUS_FAILED
         return (
             RegionResult(
                 region_name=region.name,
@@ -220,7 +228,7 @@ def _run_region(
                 utilization=0.0,
                 compile_seconds=time.perf_counter() - started,
                 n_instructions=len(region.ddg),
-                status=STATUS_FAILED,
+                status=status,
                 error=f"{type(exc).__name__}: {exc}",
                 verified=verified,
                 diagnostics=diagnostics,
@@ -254,7 +262,12 @@ def _record_region_metrics(
     or ``None`` when the result was served from the schedule cache (a
     stale ``last_result`` must not re-count guard interventions)."""
     registry.inc("regions.scheduled")
-    registry.inc("regions.ok" if result.ok else "regions.failed")
+    if result.ok:
+        registry.inc("regions.ok")
+    elif result.status == STATUS_TIMEOUT:
+        registry.inc("regions.timeout")
+    else:
+        registry.inc("regions.failed")
     registry.observe("region.compile_seconds", result.compile_seconds)
     registry.observe("region.instructions", result.n_instructions)
     if result.ok:
@@ -326,12 +339,20 @@ def _run_regions_engine(
         )
         for index, region in enumerate(program.regions)
     ]
+    telemetry_before = dict(engine.telemetry.counters) if registry is not None else {}
     outcomes = engine.run_tasks(tasks)
     for outcome in outcomes:  # index order: merge is deterministic
         if registry is not None and outcome.metrics is not None:
             registry.merge(MetricsRegistry.from_snapshot(outcome.metrics))
         if tracer.enabled and outcome.trace_records:
             tracer.absorb(outcome.trace_records, worker=outcome.worker)
+    if registry is not None:
+        # Surface what the resilient engine did for *this* run (the
+        # engine may be reused across calls, hence the delta).
+        for name, value in engine.telemetry.counters.items():
+            delta = value - telemetry_before.get(name, 0)
+            if delta:
+                registry.inc(name, delta)
     return [outcome.result for outcome in outcomes]
 
 
@@ -346,6 +367,7 @@ def run_program(
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
     engine: Optional["CompilationEngine"] = None,
+    resilience: Optional["ResilienceConfig"] = None,
 ) -> ProgramResult:
     """Schedule every region of ``program``; weight cycles by trip count.
 
@@ -379,16 +401,23 @@ def run_program(
             replay recorded simulator numbers).
         engine: Pre-built :class:`~repro.engine.pool.CompilationEngine`
             to reuse across calls (its pool stays warm); overrides
-            ``jobs``/``cache``.
+            ``jobs``/``cache``/``resilience``.
+        resilience: Optional :class:`~repro.engine.resilience.
+            ResilienceConfig`; when given, an engine is created even for
+            ``jobs=1`` and runs on the resilient path (deadlines,
+            retries, circuit breakers).  ``None`` (the default) keeps
+            the classic byte-identical execution paths.
 
     Returns:
         The aggregated :class:`ProgramResult`.
     """
     own_engine: Optional["CompilationEngine"] = None
-    if engine is None and (jobs > 1 or cache is not None):
+    if engine is None and (jobs > 1 or cache is not None or resilience is not None):
         from ..engine.pool import CompilationEngine
 
-        engine = own_engine = CompilationEngine(jobs=jobs, cache=cache)
+        engine = own_engine = CompilationEngine(
+            jobs=jobs, cache=cache, resilience=resilience
+        )
     try:
         if engine is None:
             region_results = _run_regions_serial(

@@ -17,8 +17,10 @@ scheduler and folds the outcome into a schema-versioned
   guard counters from :attr:`ProgramResult.metrics
   <repro.harness.experiment.ProgramResult.metrics>`;
 * a snapshot-level **environment fingerprint** (python, platform,
-  numpy, git SHA) plus peak RSS, so a regression can be attributed to
-  code or to the box it ran on.
+  numpy, git SHA) plus peak RSS and the engine's ``resilience.*``
+  health counters (:data:`~repro.observability.metrics.RESILIENCE_COUNTERS`),
+  so a regression can be attributed to code, to the box it ran on, or
+  to an engine that had to retry/kill its way through the run.
 
 Snapshots live at the repository root as ``BENCH_<n>.json`` — committed
 artifacts forming a longitudinal record, in the spirit of the paper's
@@ -500,6 +502,14 @@ def run_bench(
     cells.sort(key=lambda c: (c.machine, c.benchmark, c.scheduler))
     environment = environment_fingerprint()
     environment["jobs"] = str(jobs)
+    # Engine-health counters ride in the environment block (stringified,
+    # like its other fields) so every snapshot records how much resilience
+    # machinery — retries, kills, breaker trips — its numbers needed.
+    # All zeros on a healthy run, which is itself worth recording.
+    from .metrics import RESILIENCE_COUNTERS
+
+    for counter in RESILIENCE_COUNTERS:
+        environment[counter] = str(engine.telemetry.counters.get(counter, 0))
     config: Dict[str, object] = {
         "tier": "quick" if quick else "full",
         "repeats": repeats,

@@ -28,6 +28,38 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: fully-decided instruction (confidence = inf) cannot drown the mean.
 CONFIDENCE_CAP = 100.0
 
+#: Counter names the resilient engine records into its telemetry
+#: registry (:attr:`repro.engine.pool.CompilationEngine.telemetry`)
+#: and the bench snapshot environment.  Kept here — next to the
+#: registry — so observability consumers (bench, docs, dashboards)
+#: have one authoritative list:
+#:
+#: * ``resilience.retries`` — task attempts re-queued after a
+#:   retryable worker failure;
+#: * ``resilience.timeouts`` — tasks that overran their compile budget
+#:   (cooperatively or preemptively killed);
+#: * ``resilience.preemptive_kills`` — futures still running past
+#:   ``deadline_s`` + kill tolerance whose workers were terminated;
+#: * ``resilience.pool_respawns`` — worker pools torn down and rebuilt;
+#: * ``resilience.rescues`` — tasks finished inline in the parent after
+#:   retries were exhausted or their worker was lost;
+#: * ``resilience.breaker_trips`` — circuit breakers opened;
+#: * ``resilience.breaker_probes`` — half-open probe tasks admitted;
+#: * ``resilience.breaker_resets`` — breakers closed after a good probe;
+#: * ``resilience.breaker_routed`` — tasks routed past a tripped
+#:   breaker straight to a fallback level.
+RESILIENCE_COUNTERS = (
+    "resilience.retries",
+    "resilience.timeouts",
+    "resilience.preemptive_kills",
+    "resilience.pool_respawns",
+    "resilience.rescues",
+    "resilience.breaker_trips",
+    "resilience.breaker_probes",
+    "resilience.breaker_resets",
+    "resilience.breaker_routed",
+)
+
 
 def matrix_delta(
     before_weights: np.ndarray,

@@ -36,7 +36,7 @@ class TestDocumentsExist:
                  "docs/passes.md", "docs/machines.md",
                  "docs/architecture.md", "docs/observability.md",
                  "docs/benchmarking.md", "docs/verification.md",
-                 "docs/engine.md"]
+                 "docs/engine.md", "docs/resilience.md"]
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -112,6 +112,21 @@ class TestDocumentsExist:
                        "FINGERPRINT_SCHEMA_VERSION", "--jobs", "--cache",
                        "check_fingerprint_schema", "tests/test_engine.py",
                        "LRU", "index"):
+            assert needle in text, f"docs/engine.md missing {needle!r}"
+
+    def test_resilience_doc_covers_the_machinery(self):
+        text = (ROOT / "docs" / "resilience.md").read_text()
+        for needle in ("Budget", "DeadlineExceeded", "RetryPolicy",
+                       "ResilienceConfig", "min_level", "quarantine",
+                       "repro cache", "repro resilience", "STATUS_TIMEOUT",
+                       "run_resilience_campaign", "deadline_s",
+                       "RESILIENCE_COUNTERS", "docs/engine.md"):
+            assert needle in text, f"docs/resilience.md missing {needle!r}"
+
+    def test_engine_doc_links_resilience(self):
+        text = (ROOT / "docs" / "engine.md").read_text()
+        for needle in ("ResilienceConfig", "docs/resilience.md",
+                       "deadline_s"):
             assert needle in text, f"docs/engine.md missing {needle!r}"
 
     def test_readme_documents_engine_flags(self):
