@@ -180,6 +180,11 @@ class ConvergentScheduler(Scheduler):
         ctx = PassContext(
             ddg=ddg, machine=machine, matrix=matrix, rng=self._region_rng(region)
         )
+        # Force the shared RegionIndex once, outside every pass span: the
+        # build is per-region precomputation, so its cost belongs to the
+        # region (its own span) rather than whichever pass runs first.
+        with tracer.span("region_index", n_instructions=len(ddg)):
+            ctx.index
         passes = self._build_passes(machine)
         guard = PassGuard(quarantine_after=self.quarantine_after) if self.guard else None
         budget = active_budget()

@@ -13,14 +13,17 @@ passes.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from ...ir.ddg import DataDependenceGraph
 from ...machine.machine import Machine
 from ..weights import PreferenceMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..kernels import RegionIndex
 
 #: Contracts every registered pass must honor.  The pass-contract
 #: analyzer (:mod:`repro.verify.contracts`) exercises each declared
@@ -65,6 +68,24 @@ class PassContext:
     machine: Machine
     matrix: PreferenceMatrix
     rng: np.random.Generator
+    _region_index: Optional["RegionIndex"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def index(self) -> "RegionIndex":
+        """The region's :class:`~repro.core.kernels.RegionIndex`.
+
+        Built lazily on first use and cached on the context: every pass
+        declares the ``readonly_ddg`` contract, so the graph — and hence
+        the index — is immutable for the context's lifetime, and the
+        driver reuses one context across all passes and iterations.
+        """
+        if self._region_index is None:
+            from ..kernels import build_region_index
+
+            self._region_index = build_region_index(self.ddg, self.machine)
+        return self._region_index
 
 
 class SchedulingPass(abc.ABC):

@@ -4,12 +4,23 @@ These are the paper's simplest heuristics: they establish time-slot
 feasibility, break symmetry, pin preplaced instructions, bias the first
 cluster (a Chorus convention), and sharpen each instruction's level as
 its likely issue time.
+
+Each ``apply`` delegates to its vectorized kernel in
+:mod:`repro.core.kernels`; the original scalar update rule is kept as
+``_reference_update`` so the equivalence suite can assert the two paths
+produce bit-identical matrices (see docs/kernels.md).
 """
 
 from __future__ import annotations
 
-from ...ir.opcode import FuncClass
 from ...schedulers.list_scheduler import feasible_clusters
+from ..kernels import (
+    emphcp_kernel,
+    first_kernel,
+    init_time_kernel,
+    noise_kernel,
+    place_kernel,
+)
 from .base import RESPECTS_SQUASHED, PassContext, SchedulingPass
 
 
@@ -28,6 +39,10 @@ class InitTime(SchedulingPass):
     contracts = RESPECTS_SQUASHED
 
     def apply(self, ctx: PassContext) -> None:
+        init_time_kernel(ctx.index, ctx.matrix)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         est = ctx.ddg.earliest_start()
         tail = ctx.ddg.tail_length()
         cpl = ctx.ddg.critical_path_length()
@@ -66,6 +81,15 @@ class Noise(SchedulingPass):
         self.amount = amount
 
     def apply(self, ctx: PassContext) -> None:
+        noise_kernel(ctx.matrix, ctx.rng, self.amount)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle).
+
+        NOISE was born vectorized, so reference and kernel share the
+        same expression; the method exists to keep the per-pass
+        equivalence suite uniform.
+        """
         w = ctx.matrix.data
         if w.size == 0:
             return
@@ -92,6 +116,10 @@ class Place(SchedulingPass):
         self.boost = boost
 
     def apply(self, ctx: PassContext) -> None:
+        place_kernel(ctx.index, ctx.matrix, self.boost)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         for uid in ctx.ddg.preplaced():
             home = ctx.ddg.instruction(uid).home_cluster
             ctx.matrix.scale(uid, self.boost, cluster=home)
@@ -113,6 +141,10 @@ class First(SchedulingPass):
         self.boost = boost
 
     def apply(self, ctx: PassContext) -> None:
+        first_kernel(ctx.matrix, self.boost)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         for i in range(len(ctx.ddg)):
             ctx.matrix.scale(i, self.boost, cluster=0)
         ctx.matrix.normalize()
@@ -133,6 +165,10 @@ class EmphasizeCriticalPathDistance(SchedulingPass):
         self.boost = boost
 
     def apply(self, ctx: PassContext) -> None:
+        emphcp_kernel(ctx.index, ctx.matrix, self.boost)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         levels = ctx.ddg.levels()
         horizon = ctx.matrix.n_time_slots
         for i in range(len(ctx.ddg)):

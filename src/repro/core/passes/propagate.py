@@ -3,6 +3,11 @@
 LEVEL spreads each level's instructions across clusters for parallelism
 while keeping nearby instructions together; PATHPROP lets instructions
 the scheduler is confident about pull their dependence paths along.
+
+Both ``apply`` bodies delegate to vectorized kernels in
+:mod:`repro.core.kernels` (LEVEL batches every band member's BFS into
+one sweep; PATHPROP batches each walk's blends); the original scalar
+updates are kept as ``_reference_update`` for the equivalence suite.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from ..kernels import level_distribute_kernel, pathprop_kernel
 from .base import RESPECTS_SQUASHED, PassContext, SchedulingPass
 
 
@@ -55,6 +61,17 @@ class LevelDistribute(SchedulingPass):
         self.boost = boost
 
     def apply(self, ctx: PassContext) -> None:
+        level_distribute_kernel(
+            ctx.index,
+            ctx.matrix,
+            stride=self.stride,
+            granularity=self.granularity,
+            threshold=self.threshold,
+            boost=self.boost,
+        )
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         levels = ctx.ddg.levels()
         if not levels:
             return
@@ -179,6 +196,10 @@ class PathPropagate(SchedulingPass):
         self.threshold = threshold
 
     def apply(self, ctx: PassContext) -> None:
+        pathprop_kernel(ctx.index, ctx.matrix, self.threshold)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         confidences = ctx.matrix.confidences()
         sources = [
             i

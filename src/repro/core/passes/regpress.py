@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import register_pressure_kernel
 from .base import RESPECTS_SQUASHED, PassContext, SchedulingPass
 
 
@@ -48,7 +49,13 @@ class RegisterPressure(SchedulingPass):
         occupies one register for ``u - d + 1`` levels; normalizing by
         the level count gives its average contribution to pressure, and
         the instruction's cluster marginal distributes it over clusters.
+        Computed by :func:`~repro.core.kernels.register_pressure_kernel`
+        (an ``np.add.at`` accumulation in the reference's uid order).
         """
+        return register_pressure_kernel(ctx.index, ctx.matrix)
+
+    def _reference_pressure(self, ctx: PassContext) -> np.ndarray:
+        """Scalar specification of :meth:`expected_pressure`."""
         ddg = ctx.ddg
         levels = ddg.levels()
         horizon = max(levels) + 1 if levels else 1
@@ -70,6 +77,20 @@ class RegisterPressure(SchedulingPass):
 
     def apply(self, ctx: PassContext) -> None:
         pressure = self.expected_pressure(ctx)
+        budgets = np.array(
+            [cluster.registers for cluster in ctx.machine.clusters], dtype=float
+        )
+        over = np.maximum(0.0, pressure / np.maximum(budgets, 1.0) - 1.0)
+        if not np.any(over > 0):
+            return
+        divisor = 1.0 + self.strength * over
+        ctx.matrix.data[...] /= divisor[None, :, None]
+        ctx.matrix.touch()
+        ctx.matrix.normalize()
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
+        pressure = self._reference_pressure(ctx)
         budgets = np.array(
             [cluster.registers for cluster in ctx.machine.clusters], dtype=float
         )

@@ -4,6 +4,12 @@ These four passes do the heavy lifting of cluster assignment: keep
 critical paths together, pull dependence neighbours onto the same
 cluster, spread preplacement information through the graph, and keep the
 clusters evenly loaded.
+
+Weight updates run through the vectorized kernels in
+:mod:`repro.core.kernels`; the scalar update rules survive as
+``_reference_update`` so the equivalence suite can diff the two paths
+bit-for-bit.  PATH's path *finding* stays in Python — it is graph
+traversal, not a weight update — but its per-segment scaling is batched.
 """
 
 from __future__ import annotations
@@ -12,6 +18,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..kernels import (
+    comm_kernel,
+    load_balance_kernel,
+    placeprop_kernel,
+    scale_rows_toward_cluster,
+)
 from .base import (
     RESPECTS_SQUASHED,
     PassContext,
@@ -54,6 +66,20 @@ class CriticalPathStrengthen(SchedulingPass):
         self.paths = paths
 
     def apply(self, ctx: PassContext) -> None:
+        found = self._find_paths(ctx)
+        for path in found:
+            for segment in self._split_at_preplaced(ctx, path):
+                cluster = self._segment_cluster(ctx, segment)
+                # Segment members are distinct, so the batched scale is
+                # bit-identical to the reference's per-uid loop; the
+                # next segment's cluster choice sees the updated
+                # marginals either way.
+                scale_rows_toward_cluster(ctx.matrix, list(segment), cluster, self.boost)
+        if found:
+            ctx.matrix.normalize()
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         found = self._find_paths(ctx)
         for path in found:
             for segment in self._split_at_preplaced(ctx, path):
@@ -160,6 +186,10 @@ class CommunicationMinimize(SchedulingPass):
         self.sharpen = sharpen
 
     def apply(self, ctx: PassContext) -> None:
+        comm_kernel(ctx.index, ctx.matrix, self.include_grand, self.sharpen)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         n = len(ctx.ddg)
         if n == 0:
             return
@@ -208,6 +238,10 @@ class PreplacementPropagate(SchedulingPass):
     contracts = RESPECTS_SQUASHED
 
     def apply(self, ctx: PassContext) -> None:
+        placeprop_kernel(ctx.index, ctx.matrix)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle)."""
         preplaced = ctx.ddg.preplaced()
         if not preplaced:
             return
@@ -247,6 +281,14 @@ class LoadBalance(SchedulingPass):
         self.epsilon = epsilon
 
     def apply(self, ctx: PassContext) -> None:
+        load_balance_kernel(ctx.matrix, self.epsilon)
+
+    def _reference_update(self, ctx: PassContext) -> None:
+        """Scalar specification of :meth:`apply` (equivalence oracle).
+
+        LOAD was born vectorized; the method keeps the equivalence
+        suite uniform across all passes.
+        """
         load = expected_cluster_load(ctx.matrix) + self.epsilon
         ctx.matrix.data[...] /= load[None, :, None]
         ctx.matrix.touch()

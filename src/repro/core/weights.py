@@ -50,6 +50,7 @@ class PreferenceMatrix:
         )
         self._cluster_marginal: Optional[np.ndarray] = None  # (N, C)
         self._time_marginal: Optional[np.ndarray] = None  # (N, T)
+        self._row_sums: Optional[np.ndarray] = None  # (N,)
 
     @classmethod
     def for_region(cls, ddg: DataDependenceGraph, n_clusters: int) -> "PreferenceMatrix":
@@ -98,6 +99,7 @@ class PreferenceMatrix:
         :attr:`data`."""
         self._cluster_marginal = None
         self._time_marginal = None
+        self._row_sums = None
 
     def copy(self) -> "PreferenceMatrix":
         """Deep copy (used by the convergence tracker for snapshots)."""
@@ -140,6 +142,32 @@ class PreferenceMatrix:
         Unlike :meth:`check_invariants` this never raises; the pass
         guard turns a non-``None`` report into a rollback.
         """
+        if self._w.size:
+            # Fast path for the (overwhelmingly common) healthy case:
+            # two fused reductions replace four boolean full-matrix
+            # scans.  min() is NaN when any entry is NaN, -inf/negative
+            # when any entry is, so a healthy minimum proves the NaN and
+            # negativity scans below would pass; and once every entry is
+            # known non-negative, an infinite entry would make its row
+            # sum infinite, so all-finite row sums rule out +inf without
+            # a dedicated max() sweep.
+            lo = float(self._w.min())
+            if lo >= 0.0 and bool(np.isfinite(sums := self._w.sum(axis=(1, 2))).all()):
+                # The guard calls health() and then immediately
+                # normalize(); memoizing the row sums (invalidated by
+                # touch, like the marginals) spares normalize its own
+                # full-matrix reduction.
+                self._row_sums = sums
+                zero_rows = np.flatnonzero(sums <= 0.0)
+                if zero_rows.size:
+                    return f"instruction {int(zero_rows[0])} has an all-zero row"
+                if check_normalization and not np.allclose(sums, 1.0, atol=1e-6):
+                    worst = int(np.argmax(np.abs(sums - 1.0)))
+                    return (
+                        f"instruction {worst} weights sum to {sums[worst]:.6f}, "
+                        "expected 1"
+                    )
+                return None
         if np.isnan(self._w).any():
             bad = int(np.argwhere(np.isnan(self._w))[0][0])
             return f"NaN weight in instruction {bad}'s row"
@@ -385,7 +413,10 @@ class PreferenceMatrix:
         Instructions whose weights have been squashed to all-zero are
         reset to uniform, so no instruction is ever left unschedulable.
         """
-        sums = self._w.sum(axis=(1, 2), keepdims=True)
+        if self._row_sums is not None:
+            sums = self._row_sums.reshape(-1, 1, 1)
+        else:
+            sums = self._w.sum(axis=(1, 2), keepdims=True)
         zero = sums[:, 0, 0] <= 0.0
         if np.any(zero):
             self._w[zero] = 1.0 / (self.n_clusters * self.n_time_slots)

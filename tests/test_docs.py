@@ -36,7 +36,8 @@ class TestDocumentsExist:
                  "docs/passes.md", "docs/machines.md",
                  "docs/architecture.md", "docs/observability.md",
                  "docs/benchmarking.md", "docs/verification.md",
-                 "docs/engine.md", "docs/resilience.md"]
+                 "docs/engine.md", "docs/resilience.md",
+                 "docs/kernels.md"]
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -67,6 +68,29 @@ class TestDocumentsExist:
         text = (ROOT / "docs" / "passes.md").read_text()
         for name in PASS_REGISTRY:
             assert f"## {name}" in text, f"docs/passes.md missing {name}"
+
+    def test_kernels_doc_covers_every_registered_pass(self):
+        from repro.core.passes import PASS_REGISTRY
+
+        text = (ROOT / "docs" / "kernels.md").read_text()
+        for name in PASS_REGISTRY:
+            assert f"## {name}" in text, f"docs/kernels.md missing {name}"
+        for needle in ("RegionIndex", "bit-compat", "tobytes",
+                       "np.add.at", "gathered_row_sums",
+                       "region_hop_distances", "all_pairs",
+                       "tests/test_core_kernels.py", "op order"):
+            assert needle in text, f"docs/kernels.md missing {needle!r}"
+
+    def test_passes_doc_references_the_kernel_layer(self):
+        text = (ROOT / "docs" / "passes.md").read_text()
+        for needle in ("repro.core.kernels", "kernels.md",
+                       "_reference_update"):
+            assert needle in text, f"docs/passes.md missing {needle!r}"
+
+    def test_architecture_doc_references_the_kernel_layer(self):
+        text = (ROOT / "docs" / "architecture.md").read_text()
+        for needle in ("repro.core.kernels", "kernels.md", "RegionIndex"):
+            assert needle in text, f"docs/architecture.md missing {needle!r}"
 
     def test_readme_documents_every_cli_verb(self):
         from repro.cli import build_parser
@@ -180,6 +204,10 @@ class TestAudits:
 
     def test_fingerprint_schema_audit_passes(self):
         proc = self._run("check_fingerprint_schema.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_pass_docs_audit_passes(self):
+        proc = self._run("check_pass_docs.py")
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
