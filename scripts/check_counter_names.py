@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Audit engine telemetry names against the registry and the docs.
+
+Three invariants keep :data:`repro.observability.metrics.
+TELEMETRY_NAMES`, ``docs/telemetry.md``, and the emission sites under
+``src/repro/engine`` telling the same story:
+
+1. every name emitted through ``telemetry.inc(...)`` / ``.observe(...)``
+   in the engine sources is registered in ``TELEMETRY_NAMES`` —
+   f-string placeholders are expanded over their documented domains
+   (``{status}`` over the task statuses, ``{key}`` over the cache-stats
+   keys), so templated emissions are audited too;
+2. every registered name is actually emitted — a registered-but-dead
+   name is a lie;
+3. every registered name appears backticked in ``docs/telemetry.md``,
+   and the docs name nothing unregistered.
+
+Run from the repo root with ``PYTHONPATH=src``; exits nonzero with one
+line per violation.  Registered by ``tests/test_docs.py`` and the
+``telemetry`` CI job.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine.cache import CacheStats  # noqa: E402
+from repro.observability.metrics import (  # noqa: E402
+    ENGINE_TASK_STATUSES,
+    TELEMETRY_NAMES,
+)
+
+#: ``telemetry.inc("...")`` / ``registry.observe(f"...")`` call sites.
+EMIT_RE = re.compile(r"\.(?:inc|observe)\(\s*(f?)\"([^\"]+)\"")
+
+#: Names that look like engine telemetry (dotted, known prefixes).
+PREFIXES = ("resilience.", "cache.", "engine.")
+
+#: Placeholder domains for f-string emission sites.
+EXPANSIONS = {
+    "{status}": tuple(ENGINE_TASK_STATUSES),
+    "{key}": tuple(CacheStats().to_dict()),
+}
+
+
+def expand(template: str) -> set:
+    """Expand an f-string emission template over its placeholder domain.
+
+    Args:
+        template: The literal from the call site, possibly containing
+            one known placeholder.
+
+    Returns:
+        The set of concrete names the template can emit; empty when the
+        template contains an unknown placeholder (reported upstream).
+    """
+    names = {template}
+    for placeholder, values in EXPANSIONS.items():
+        names = {
+            name.replace(placeholder, value) if placeholder in name else name
+            for name in names
+            for value in (values if placeholder in name else ("",))
+        }
+    return {name for name in names if "{" not in name}
+
+
+def emitted_names(src_root: Path):
+    """Every telemetry name the engine sources can emit.
+
+    Args:
+        src_root: The ``src/repro/engine`` directory.
+
+    Returns:
+        ``(names, unknown)`` — concrete emitted names, and call-site
+        templates containing a placeholder the audit cannot expand.
+    """
+    names = set()
+    unknown = []
+    for path in sorted(src_root.rglob("*.py")):
+        for is_f, literal in EMIT_RE.findall(path.read_text()):
+            if not literal.startswith(PREFIXES):
+                continue
+            concrete = expand(literal)
+            if not concrete:
+                unknown.append(f"{path.name}: {literal}")
+            names.update(concrete)
+    return names, unknown
+
+
+def main() -> int:
+    """Run the audit.
+
+    Returns:
+        ``0`` when sources, registry, and docs agree; ``1`` otherwise.
+    """
+    problems = []
+    registered = set(TELEMETRY_NAMES)
+    emitted, unknown = emitted_names(ROOT / "src" / "repro" / "engine")
+    for template in unknown:
+        problems.append(f"unexpandable emission template: {template}")
+
+    doc_text = (ROOT / "docs" / "telemetry.md").read_text()
+    documented = {
+        name
+        for name in re.findall(r"`([a-z_.]+)`", doc_text)
+        if name.startswith(PREFIXES) and name.count(".") >= 1
+    }
+
+    for name in sorted(emitted - registered):
+        problems.append(f"{name}: emitted in src/repro/engine but not in TELEMETRY_NAMES")
+    for name in sorted(registered - emitted):
+        problems.append(f"{name}: registered but never emitted under src/repro/engine")
+    for name in sorted(registered - documented):
+        problems.append(f"{name}: registered but not documented in docs/telemetry.md")
+    for name in sorted(documented - registered):
+        problems.append(f"{name}: documented but not in TELEMETRY_NAMES")
+
+    if problems:
+        print(f"check_counter_names: {len(problems)} problem(s)")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(
+        f"check_counter_names: {len(registered)} names registered, "
+        f"{len(emitted)} emitted, {len(documented)} documented — consistent"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

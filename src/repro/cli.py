@@ -28,10 +28,16 @@
 * ``resilience`` — seeded engine-level chaos storm
   (:func:`repro.faults.run_resilience_campaign`): deadlines, hung and
   killed workers, disk-cache corruption; exits nonzero unless every
-  region is accounted for.
+  region is accounted for;
+* ``timeline`` — render a flight ledger (``--ledger`` on ``bench`` /
+  ``faults``) as per-worker Gantt lanes with queue/saturation stats,
+  or export it as Chrome trace-event JSON (``--chrome-trace``);
+* ``trend`` — cross-snapshot trend analysis: per-cell cycle and
+  compile-time series over every committed ``BENCH_<n>.json``, with
+  sparklines and regression flags.
 
 The hardened subcommands (``faults``, ``bench``, ``verify``, ``cache``,
-``resilience``) use distinct exit codes so CI can tell *why* a gate
+``resilience``, ``timeline``, ``trend``) use distinct exit codes so CI can tell *why* a gate
 went red: 0 success, 1 genuine failure or regression, 2 operator /
 configuration error, 3 unexpected crash.
 """
@@ -63,16 +69,25 @@ from .harness import (
 from .machine import ClusteredVLIW, Machine, RawMachine, raw_with_tiles
 from .observability import (
     BenchSnapshot,
+    FlightLedger,
     MetricsRegistry,
     Tracer,
+    analyze_ledger,
     compare_snapshots,
     latest_snapshot_path,
+    load_trends,
     next_snapshot_path,
+    profile_data,
     read_jsonl,
+    read_ledger,
     render_profile,
+    render_timeline,
     render_trace,
     render_trace_diff,
+    render_trend,
     run_bench,
+    to_chrome_trace,
+    trace_data,
     tracing,
 )
 from .sim import simulate
@@ -249,6 +264,14 @@ def _render_cache_stats(cache) -> str:
     )
 
 
+def _flush_ledger(ledger: Optional[FlightLedger], path: Optional[str]) -> None:
+    """Flush a flight ledger to ``path`` and say so (no-op when unused)."""
+    if ledger is None or path is None:
+        return
+    ledger.flush(path)
+    print(f"flight ledger written to {path} ({len(ledger)} records)")
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     """Run a seeded fault-injection campaign and print the report."""
     machine = parse_machine(args.machine)
@@ -260,6 +283,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         for region in build_benchmark(name, machine).regions
     ]
     cache = _make_cache(args.cache)
+    ledger = FlightLedger() if args.ledger else None
     report = run_campaign(
         machine,
         regions,
@@ -269,10 +293,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         fail_fast=args.fail_fast,
+        ledger=ledger,
     )
     print(report.render())
     if cache is not None:
         print(_render_cache_stats(cache))
+    _flush_ledger(ledger, args.ledger)
     return EXIT_OK if report.ok else EXIT_FAILURE
 
 
@@ -438,6 +464,59 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return EXIT_OK if report.ok else EXIT_FAILURE
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """Render a flight ledger as per-worker lanes; export Chrome trace."""
+    import json
+
+    path = Path(args.ledger)
+    if not path.exists():
+        raise FileNotFoundError(f"no such ledger file: {args.ledger}")
+    records, skipped = read_ledger(path)
+    if skipped:
+        print(f"note: {skipped} corrupt ledger line(s) skipped", file=sys.stderr)
+    if not records:
+        print(f"error: no flight records in {args.ledger}", file=sys.stderr)
+        return EXIT_CONFIG
+    print(render_timeline(records, width=args.width))
+    if args.chrome_trace:
+        Path(args.chrome_trace).write_text(
+            json.dumps(to_chrome_trace(records), indent=2)
+        )
+        print(
+            f"Chrome trace written to {args.chrome_trace} "
+            "(load via chrome://tracing or ui.perfetto.dev)"
+        )
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(analyze_ledger(records).to_dict(), indent=2)
+        )
+        print(f"timeline stats written to {args.json}")
+    return EXIT_OK
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    """Cross-snapshot trend analysis over committed BENCH_*.json files."""
+    import json
+
+    ids, trends = load_trends(
+        root=args.root,
+        machine=args.machine,
+        benchmark=args.benchmark,
+        scheduler=args.scheduler,
+    )
+    print(render_trend(ids, trends))
+    if args.json:
+        payload = {
+            "snapshot_ids": ids,
+            "cells": [t.to_dict() for t in trends],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"trend data written to {args.json}")
+    if not ids:
+        return EXIT_CONFIG
+    return EXIT_OK
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Trace one region's convergence and print the per-pass table."""
     if args.diff:
@@ -489,6 +568,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     elif args.jsonl:
         print()
         print(tracer.to_jsonl())
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(trace_data(tracer.records), indent=2)
+        )
+        print(f"structured trace data written to {args.json}")
     return 0
 
 
@@ -522,6 +608,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.out:
         tracer.write(args.out)
         print(f"profile trace written to {args.out}")
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(
+                profile_data(tracer.records, wall_seconds=wall_seconds),
+                indent=2,
+            )
+        )
+        print(f"structured profile data written to {args.json}")
     warning = format_degradations(result)
     if warning:
         print(warning)
@@ -573,6 +669,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     machines = [parse_machine(s) for s in _split(args.machines)] if args.machines else None
     cache = _make_cache(args.cache)
+    ledger = FlightLedger() if args.ledger else None
     snapshot = run_bench(
         machines=machines,
         benchmarks=_split(args.benchmarks),
@@ -583,10 +680,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         check_values=args.check_values,
         jobs=args.jobs,
         cache=cache,
+        ledger=ledger,
     )
     print(_render_snapshot_summary(snapshot))
     if cache is not None:
         print(_render_cache_stats(cache))
+    _flush_ledger(ledger, args.ledger)
 
     if args.against_latest:
         latest = latest_snapshot_path()
@@ -721,6 +820,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("RUN_A", "RUN_B"),
         help="align two saved JSONL traces pass-by-pass and diff them",
     )
+    trace.add_argument(
+        "--json", metavar="PATH",
+        help="write the structured per-pass data as JSON to this path",
+    )
 
     bench = sub.add_parser(
         "bench", help="benchmark snapshots: run the matrix or compare BENCH_*.json"
@@ -768,6 +871,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="schedule cache: a directory for the persistent layer, or "
              "'mem' for in-memory only",
     )
+    bench.add_argument(
+        "--ledger", metavar="PATH",
+        help="write a per-region flight ledger (JSONL) to this path; "
+             "quality columns are unaffected",
+    )
 
     profile = sub.add_parser(
         "profile", help="compile-time breakdown across pipeline phases"
@@ -778,6 +886,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--repeat", type=int, default=1, help="profiling repetitions")
     profile.add_argument("--fast", action="store_true", help="skip dataflow replay")
     profile.add_argument("--out", help="write the JSONL trace to this path")
+    profile.add_argument(
+        "--json", metavar="PATH",
+        help="write the structured breakdown as JSON to this path",
+    )
 
     faults = sub.add_parser("faults", help="seeded fault-injection campaign")
     faults.add_argument("--machine", default="vliw4")
@@ -803,6 +915,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-fast", action="store_true",
         help="stop dispatching trials as soon as one crashes "
              "(report is marked truncated)",
+    )
+    faults.add_argument(
+        "--ledger", metavar="PATH",
+        help="write a per-trial flight ledger (JSONL) to this path; "
+             "the report is unaffected",
     )
 
     verify = sub.add_parser(
@@ -883,6 +1000,41 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--iterations", type=int, default=40)
     search.add_argument("--seed", type=int, default=0)
 
+    timeline = sub.add_parser(
+        "timeline",
+        help="per-worker Gantt lanes and saturation stats from a flight "
+             "ledger (see bench/faults --ledger)",
+    )
+    timeline.add_argument("ledger", help="flight-ledger JSONL file")
+    timeline.add_argument(
+        "--width", type=int, default=72, help="lane width in characters"
+    )
+    timeline.add_argument(
+        "--chrome-trace", metavar="PATH",
+        help="also export Chrome trace-event JSON (chrome://tracing, "
+             "ui.perfetto.dev)",
+    )
+    timeline.add_argument(
+        "--json", metavar="PATH",
+        help="write the timeline stats as JSON to this path",
+    )
+
+    trend = sub.add_parser(
+        "trend",
+        help="per-cell cycle/compile-time series across every committed "
+             "BENCH_<n>.json, with regression flags",
+    )
+    trend.add_argument(
+        "--root", help="directory holding BENCH_<n>.json files (default: cwd)"
+    )
+    trend.add_argument("--machine", help="keep only cells of this machine")
+    trend.add_argument("--benchmark", help="keep only cells of this benchmark")
+    trend.add_argument("--scheduler", help="keep only cells of this scheduler")
+    trend.add_argument(
+        "--json", metavar="PATH",
+        help="write the trend series as JSON to this path",
+    )
+
     return parser
 
 
@@ -902,7 +1054,9 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "resilience": _hardened(_cmd_resilience),
     "search": _cmd_search,
+    "timeline": _hardened(_cmd_timeline),
     "trace": _cmd_trace,
+    "trend": _hardened(_cmd_trend),
     "verify": _hardened(_cmd_verify),
 }
 

@@ -46,6 +46,7 @@ from ..harness.experiment import (
 )
 from ..ir.regions import Region
 from ..machine.machine import Machine
+from ..observability.flight import FlightLedger, FlightRecord
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import Tracer, tracing, uninstall
 from ..schedulers.base import Scheduler
@@ -93,6 +94,9 @@ class RegionTask:
             tripped circuit breaker raises it so the task skips the
             failing primary.  Ignored for schedulers without a
             ``min_level`` attribute.
+        submit_s: Unix time the engine (re-)submitted the task for its
+            latest attempt; the flight recorder derives queue-wait from
+            it.  0.0 until the engine stamps it.
     """
 
     index: int
@@ -106,6 +110,7 @@ class RegionTask:
     trace: bool = False
     deadline_s: Optional[float] = None
     route_level: int = 0
+    submit_s: float = 0.0
 
 
 @dataclass
@@ -136,6 +141,10 @@ class TaskOutcome:
         degradation_level: ``FallbackReport.level`` of the run that
             produced the result (0 = primary member or non-chain
             scheduler; >0 = a fallback member served it).
+        fingerprint: Content-addressed cache key (SHA-256 hex) the task
+            was looked up under, or ``None`` when caching was off.
+        started_s: Unix time the executing process picked the task up.
+        finished_s: Unix time the outcome was fully populated.
     """
 
     index: int
@@ -149,6 +158,9 @@ class TaskOutcome:
     attempts: int = 1
     timed_out: bool = False
     degradation_level: int = 0
+    fingerprint: Optional[str] = None
+    started_s: float = 0.0
+    finished_s: float = 0.0
 
 
 def _execute_region_task(
@@ -170,6 +182,7 @@ def _execute_region_task(
         index=task.index,
         result=None,  # type: ignore[arg-type]  # filled below
         worker=os.getpid(),
+        started_s=time.time(),
     )
     # Install the breaker's routing floor *before* the cache key is
     # computed: ``min_level`` is part of the scheduler fingerprint, so
@@ -189,6 +202,7 @@ def _execute_region_task(
                 verify=task.verify,
                 deadline_s=task.deadline_s,
             )
+            outcome.fingerprint = fingerprint.key
             lookup_started = time.perf_counter()
             hit = cache.get(fingerprint, task.region)
             if hit is not None:
@@ -274,6 +288,7 @@ def _execute_region_task(
         outcome.metrics = registry.snapshot()
     if tracer is not None:
         outcome.trace_records = [r.to_dict() for r in tracer.records]
+    outcome.finished_s = time.time()
     return outcome
 
 
@@ -370,6 +385,19 @@ class CompilationEngine:
             resilient path does is counted in :attr:`telemetry` under
             ``resilience.*`` (see :data:`~repro.observability.metrics.
             RESILIENCE_COUNTERS`).
+        ledger: Optional :class:`~repro.observability.flight.
+            FlightLedger`.  When given, every finished task — on the
+            serial, pooled, and resilient paths alike — appends one
+            :class:`~repro.observability.flight.FlightRecord` (cache
+            status, worker pid, queue-wait vs execute split, attempt,
+            breaker state, deadline slack); the caller flushes the
+            ledger to disk.  ``None`` keeps the task path free of any
+            ledger bookkeeping.
+
+    Per-task queue-wait and execute seconds are always recorded into
+    :attr:`telemetry` as ``engine.queue_wait_seconds.<status>`` /
+    ``engine.execute_seconds.<status>`` histograms (see
+    :data:`~repro.observability.metrics.ENGINE_HISTOGRAM_PREFIXES`).
 
     The executor is created lazily on first parallel use and should be
     released with :meth:`close` (or by using the engine as a context
@@ -383,12 +411,14 @@ class CompilationEngine:
         jobs: int = 1,
         cache: Optional[ScheduleCache] = None,
         resilience: Optional[ResilienceConfig] = None,
+        ledger: Optional[FlightLedger] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.resilience = resilience
+        self.ledger = ledger
         self.telemetry = MetricsRegistry()
         self.pool_breaks = 0
         self.retried_tasks = 0
@@ -448,6 +478,60 @@ class CompilationEngine:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
 
+    # -- flight recording ----------------------------------------------
+
+    def _observe_task(self, task: RegionTask, outcome: TaskOutcome) -> None:
+        """Record one finished task into telemetry and the flight ledger.
+
+        Always splits the task's wall time into queue-wait (submit →
+        start) and execute (start → finish) histograms per final status;
+        additionally appends a :class:`~repro.observability.flight.
+        FlightRecord` when the engine carries a ledger.
+
+        Args:
+            task: The finished work item (carries ``submit_s``).
+            outcome: Its outcome (carries ``started_s``/``finished_s``).
+        """
+        queue_wait = 0.0
+        if task.submit_s and outcome.started_s:
+            queue_wait = max(0.0, outcome.started_s - task.submit_s)
+        execute = max(0.0, outcome.finished_s - outcome.started_s)
+        status = outcome.result.status
+        self.telemetry.observe(f"engine.queue_wait_seconds.{status}", queue_wait)
+        self.telemetry.observe(f"engine.execute_seconds.{status}", execute)
+        if self.ledger is None:
+            return
+        breaker = self._breaker_for(task)
+        slack = None
+        if task.deadline_s is not None:
+            slack = task.deadline_s - execute
+        self.ledger.append(
+            FlightRecord(
+                index=task.index,
+                region=task.region.name,
+                machine=task.machine.name,
+                scheduler=getattr(
+                    task.scheduler, "name", type(task.scheduler).__name__
+                ),
+                fingerprint=outcome.fingerprint,
+                cache_status=outcome.cache_status,
+                worker=outcome.worker,
+                submit_s=task.submit_s or outcome.started_s,
+                start_s=outcome.started_s,
+                finish_s=outcome.finished_s,
+                queue_wait_s=queue_wait,
+                execute_s=execute,
+                attempts=outcome.attempts,
+                route_level=task.route_level,
+                breaker=breaker.state if breaker is not None else None,
+                degradation_level=outcome.degradation_level,
+                deadline_s=task.deadline_s,
+                deadline_slack_s=slack,
+                status=status,
+                cycles=outcome.result.cycles,
+            )
+        )
+
     # -- region tasks --------------------------------------------------
 
     def run_tasks(self, tasks: Sequence[RegionTask]) -> List[TaskOutcome]:
@@ -471,9 +555,10 @@ class CompilationEngine:
         executor = self._pool()
         pending: List[RegionTask] = list(tasks)
         if executor is not None:
-            futures: Dict[Future, RegionTask] = {
-                executor.submit(_pool_run_task, task): task for task in pending
-            }
+            futures: Dict[Future, RegionTask] = {}
+            for task in pending:
+                task.submit_s = time.time()
+                futures[executor.submit(_pool_run_task, task)] = task
             pending = []
             for future, task in futures.items():
                 try:
@@ -492,10 +577,15 @@ class CompilationEngine:
                 # (entries themselves are shared via the disk layer).
                 if self.cache is not None and outcome.worker != os.getpid():
                     self.cache.stats.merge(outcome.cache_stats)
+                self._observe_task(task, outcome)
                 outcomes[outcome.index] = outcome
         for task in pending:
+            if not task.submit_s:
+                task.submit_s = time.time()
             with _as_worker_cache(self.cache):
-                outcomes[task.index] = _execute_region_task(task, self.cache)
+                outcome = _execute_region_task(task, self.cache)
+            self._observe_task(task, outcome)
+            outcomes[task.index] = outcome
         return [outcomes[task.index] for task in sorted(tasks, key=lambda t: t.index)]
 
     # -- resilient execution -------------------------------------------
@@ -566,6 +656,7 @@ class CompilationEngine:
         if self.cache is not None and outcome.worker != os.getpid():
             self.cache.stats.merge(outcome.cache_stats)
         self._record_breaker(task, outcome)
+        self._observe_task(task, outcome)
         outcomes[task.index] = outcome
 
     def _wave_timeout(self, wave: Sequence[Tuple[RegionTask, int]]) -> Optional[float]:
@@ -658,12 +749,17 @@ class CompilationEngine:
                 "compile budget and was killed"
             ),
         )
+        now = time.time()
         return TaskOutcome(
             index=task.index,
             result=result,
             worker=os.getpid(),
             attempts=attempt,
             timed_out=True,
+            # The killed worker never reported back: charge the whole
+            # submit→kill window as execute time on the parent's lane.
+            started_s=task.submit_s or now,
+            finished_s=now,
         )
 
     def _handle_worker_error(
@@ -725,6 +821,7 @@ class CompilationEngine:
                 # Serial (or given-up pool): cooperative deadlines only.
                 task, attempt = queue.popleft()
                 self._route(task)
+                task.submit_s = time.time()
                 outcome = self._run_inline(task)
                 self._absorb(task, attempt, outcome, outcomes)
                 continue
@@ -732,6 +829,7 @@ class CompilationEngine:
             futures: Dict[Future, Tuple[RegionTask, int]] = {}
             for task, attempt in wave:
                 self._route(task)
+                task.submit_s = time.time()
                 futures[executor.submit(_pool_run_task, task)] = (task, attempt)
             _, not_done = wait(list(futures), timeout=self._wave_timeout(wave))
             if not_done:
@@ -769,12 +867,15 @@ class CompilationEngine:
             ``[fn(item) for item in items]``, computed with up to
             ``jobs`` processes.
         """
+        before = self.cache.stats.to_dict() if self.cache is not None else {}
         executor = self._pool()
         if executor is None:
             with _as_worker_cache(self.cache):
-                return [fn(item) for item in items]
+                results = [fn(item) for item in items]
+            self._count_cache_delta(before)
+            return results
         futures = [executor.submit(_pool_call, fn, item) for item in items]
-        results: List[Any] = [None] * len(items)
+        results = [None] * len(items)
         retry: List[int] = []
         for position, future in enumerate(futures):
             try:
@@ -789,4 +890,20 @@ class CompilationEngine:
         for position in retry:
             with _as_worker_cache(self.cache):
                 results[position] = fn(items[position])
+        self._count_cache_delta(before)
         return results
+
+    def _count_cache_delta(self, before: Dict[str, int]) -> None:
+        """Count shared-cache activity since ``before`` into telemetry.
+
+        Args:
+            before: Snapshot of ``self.cache.stats.to_dict()`` taken at
+                the start of the fan-out (empty when caching is off).
+        """
+        if self.cache is None:
+            return
+        after = self.cache.stats.to_dict()
+        for key in after:
+            delta = after[key] - before.get(key, 0)
+            if delta:
+                self.telemetry.inc(f"cache.{key}", delta)

@@ -19,6 +19,8 @@ from one seeded generator: same seed, same campaign, same report.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
@@ -36,6 +38,7 @@ from .chaos import FAULT_REGISTRY, make_fault
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.cache import ScheduleCache
+    from ..observability.flight import FlightLedger
 
 #: How a trial survived its injected fault.
 DEFENSE_ROLLBACK = "rollback"  # pass guard rolled the matrix back
@@ -46,7 +49,12 @@ DEFENSE_NONE = "crash"  # nothing saved it (campaign failure)
 
 @dataclass
 class InjectionOutcome:
-    """One fault-injection trial."""
+    """One fault-injection trial.
+
+    ``worker``, ``started_s``, and ``finished_s`` are stamped in the
+    executing process so the campaign's flight ledger (see
+    :func:`run_campaign`) can reconstruct per-worker timelines.
+    """
 
     trial: int
     region_name: str
@@ -58,6 +66,9 @@ class InjectionOutcome:
     guard_events: int
     quarantined: List[str]
     result: RegionResult
+    worker: int = 0
+    started_s: float = 0.0
+    finished_s: float = 0.0
 
     @property
     def validated(self) -> bool:
@@ -165,6 +176,7 @@ def _run_trial(plan: TrialPlan) -> InjectionOutcome:
     Returns:
         The classified outcome.
     """
+    started_s = time.time()
     passes: list = list(plan.base_sequence)
     passes.insert(plan.position, make_fault(plan.fault_kind))
     convergent = ConvergentScheduler(
@@ -233,6 +245,9 @@ def _run_trial(plan: TrialPlan) -> InjectionOutcome:
         guard_events=n_guard_events,
         quarantined=list(quarantined),
         result=result,
+        worker=os.getpid(),
+        started_s=started_s,
+        finished_s=time.time(),
     )
 
 
@@ -248,6 +263,7 @@ def run_campaign(
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
     fail_fast: bool = False,
+    ledger: Optional["FlightLedger"] = None,
 ) -> CampaignReport:
     """Inject ``n_trials`` faults and report how each was survived.
 
@@ -279,6 +295,11 @@ def run_campaign(
             marked ``truncated``.  Outcomes that already ran keep their
             trial numbers, so a truncated report is a prefix of the
             full one.
+        ledger: Optional :class:`~repro.observability.flight.
+            FlightLedger`; each trial appends one flight record —
+            worker pid, queue wait vs execute seconds, survival status
+            — built parent-side from timestamps the trial stamps in the
+            executing process.  The report itself is unaffected.
     """
     if not regions:
         raise ValueError("campaign needs at least one region")
@@ -319,19 +340,73 @@ def run_campaign(
 
     engine = CompilationEngine(jobs=jobs, cache=cache)
     report = CampaignReport(machine_name=machine.name, seed=seed)
+
+    def dispatch(chunk: List[TrialPlan]) -> None:
+        submit_s = time.time()
+        outcomes = engine.map(_run_trial, chunk)
+        report.outcomes.extend(outcomes)
+        if ledger is not None:
+            _record_trials(ledger, machine, outcomes, submit_s)
+
     try:
         if not fail_fast:
-            report.outcomes.extend(engine.map(_run_trial, plans))
+            dispatch(plans)
             return report
         # Fail-fast: dispatch in chunks so a crash stops the campaign
         # within one chunk instead of after all n_trials.
         chunk_size = max(jobs, 1) * 4
         for start in range(0, len(plans), chunk_size):
-            chunk = plans[start : start + chunk_size]
-            report.outcomes.extend(engine.map(_run_trial, chunk))
+            dispatch(plans[start : start + chunk_size])
             if any(o.defense == DEFENSE_NONE for o in report.outcomes):
                 report.truncated = start + chunk_size < len(plans)
                 break
         return report
     finally:
         engine.close()
+
+
+def _record_trials(
+    ledger: "FlightLedger",
+    machine: Machine,
+    outcomes: Sequence[InjectionOutcome],
+    submit_s: float,
+) -> None:
+    """Append one flight record per trial outcome to ``ledger``.
+
+    Records are built parent-side from the worker-stamped timestamps:
+    queue wait is the gap between the chunk's dispatch and the trial's
+    start in the executing process, execute is the trial's own wall
+    time.  Trials never serve from the cache, so ``cache_status`` is
+    always ``"off"``.
+
+    Args:
+        ledger: Destination flight ledger.
+        machine: Campaign target machine (for the record's label).
+        outcomes: Trial outcomes of one ``engine.map`` dispatch.
+        submit_s: Wall-clock time the dispatch was submitted.
+    """
+    from ..observability.flight import FlightRecord
+
+    for outcome in outcomes:
+        start = outcome.started_s or submit_s
+        finish = outcome.finished_s or start
+        ledger.append(
+            FlightRecord(
+                index=outcome.trial,
+                region=outcome.region_name,
+                machine=machine.name,
+                scheduler="fallback",
+                fingerprint=None,
+                cache_status="off",
+                worker=outcome.worker,
+                submit_s=submit_s,
+                start_s=start,
+                finish_s=finish,
+                queue_wait_s=max(0.0, start - submit_s),
+                execute_s=max(0.0, finish - start),
+                attempts=1,
+                route_level=outcome.fallback_level,
+                status="ok" if outcome.validated else "failed",
+                cycles=outcome.result.cycles,
+            )
+        )

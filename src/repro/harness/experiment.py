@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.cache import ScheduleCache
     from ..engine.pool import CompilationEngine
     from ..engine.resilience import ResilienceConfig
+    from ..observability.flight import FlightLedger
 
 #: Region/program completed with a verified schedule.
 STATUS_OK = "ok"
@@ -368,6 +369,7 @@ def run_program(
     cache: Optional["ScheduleCache"] = None,
     engine: Optional["CompilationEngine"] = None,
     resilience: Optional["ResilienceConfig"] = None,
+    ledger: Optional["FlightLedger"] = None,
 ) -> ProgramResult:
     """Schedule every region of ``program``; weight cycles by trip count.
 
@@ -407,16 +409,24 @@ def run_program(
             ``jobs=1`` and runs on the resilient path (deadlines,
             retries, circuit breakers).  ``None`` (the default) keeps
             the classic byte-identical execution paths.
+        ledger: Optional :class:`~repro.observability.flight.
+            FlightLedger`; when given, an engine is created even for
+            ``jobs=1`` and every region task appends one flight record
+            (results stay byte-identical — the engine's inline path is
+            the serial harness).  Ignored when a pre-built ``engine``
+            is passed: that engine's own ledger applies.
 
     Returns:
         The aggregated :class:`ProgramResult`.
     """
     own_engine: Optional["CompilationEngine"] = None
-    if engine is None and (jobs > 1 or cache is not None or resilience is not None):
+    if engine is None and (
+        jobs > 1 or cache is not None or resilience is not None or ledger is not None
+    ):
         from ..engine.pool import CompilationEngine
 
         engine = own_engine = CompilationEngine(
-            jobs=jobs, cache=cache, resilience=resilience
+            jobs=jobs, cache=cache, resilience=resilience, ledger=ledger
         )
     try:
         if engine is None:

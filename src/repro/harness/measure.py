@@ -33,6 +33,7 @@ from .experiment import ProgramResult, run_program
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.cache import ScheduleCache
+    from ..observability.flight import FlightLedger
 
 #: Phases extracted from the traced run into ``Measurement.phase_seconds``.
 PHASE_NAMES = ("converge", "simulate", "list_schedule", "extract_assignment")
@@ -107,6 +108,7 @@ def measure_program(
     check_values: bool = False,
     collect_phases: bool = True,
     cache: Optional["ScheduleCache"] = None,
+    ledger: Optional["FlightLedger"] = None,
 ) -> Measurement:
     """Run one bench cell: K timed repeats plus an optional traced run.
 
@@ -126,6 +128,10 @@ def measure_program(
             phase/churn fields then describe the *cached* compile path
             — leave it off when the cost columns must reflect fresh
             scheduling.
+        ledger: Optional :class:`~repro.observability.flight.
+            FlightLedger`; every repeat (and the traced run) appends
+            per-region flight records into it.  Quality fields are
+            unaffected — the engine's inline path is the serial harness.
 
     Returns:
         The assembled :class:`Measurement`; ``result`` carries the
@@ -139,7 +145,7 @@ def measure_program(
         registry = MetricsRegistry() if index == 0 else None
         outcome = run_program(
             program, machine, scheduler, check_values=check_values,
-            registry=registry, cache=cache,
+            registry=registry, cache=cache, ledger=ledger,
         )
         runs.append(outcome.compile_seconds)
         if result is None:
@@ -149,7 +155,8 @@ def measure_program(
         tracer = Tracer()
         with tracing(tracer):
             run_program(
-                program, machine, scheduler, check_values=check_values, cache=cache
+                program, machine, scheduler, check_values=check_values,
+                cache=cache, ledger=ledger,
             )
         _fold_trace(measurement, tracer)
     return measurement

@@ -20,20 +20,49 @@ instrumentation substrate for those measurements:
   for the full workload matrix, with an environment fingerprint;
 * :mod:`~repro.observability.diff` — the comparison engines behind
   ``repro bench --compare`` (exact-gated quality, tolerance-gated
-  timing) and ``repro trace --diff`` (pass-aligned trace diffs).
+  timing) and ``repro trace --diff`` (pass-aligned trace diffs);
+* :mod:`~repro.observability.flight` — the engine flight recorder:
+  crash-safe per-task JSONL ledgers, worker-timeline analysis behind
+  ``repro timeline``, and Chrome trace-event export;
+* :mod:`~repro.observability.trend` — cross-snapshot trend series
+  behind ``repro trend``.
 
-See ``docs/observability.md`` for the trace schema and
-``docs/benchmarking.md`` for the snapshot schema and gate policy.
+See ``docs/observability.md`` for the trace schema,
+``docs/benchmarking.md`` for the snapshot schema and gate policy, and
+``docs/telemetry.md`` for the ledger schema and quantile layout.
 """
 
+from .flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightLedger,
+    FlightRecord,
+    TimelineStats,
+    WorkerLane,
+    analyze_ledger,
+    read_ledger,
+    render_timeline,
+    to_chrome_trace,
+)
 from .metrics import (
+    CACHE_COUNTERS,
     CONFIDENCE_CAP,
     Histogram,
     MetricsRegistry,
+    QuantileHistogram,
+    TELEMETRY_NAMES,
+    histogram_from_dict,
     matrix_delta,
     trace_to_registry,
 )
-from .render import pass_spans, render_profile, render_trace, sparkline
+from .render import (
+    pass_spans,
+    profile_data,
+    render_profile,
+    render_trace,
+    sparkline,
+    trace_data,
+)
+from .trend import CellTrend, load_trends, render_trend
 from .tracer import (
     KIND_EVENT,
     KIND_SPAN,
@@ -73,16 +102,29 @@ __all__ = [
     "BenchComparison",
     "BenchSnapshot",
     "CellDelta",
+    "CellTrend",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightLedger",
+    "FlightRecord",
     "SCHEMA_VERSION",
+    "TimelineStats",
+    "WorkerLane",
     "align_traces",
+    "analyze_ledger",
     "compare_snapshots",
     "environment_fingerprint",
     "latest_snapshot_path",
+    "load_trends",
     "next_snapshot_path",
+    "read_ledger",
+    "render_timeline",
     "render_trace_diff",
+    "render_trend",
     "run_bench",
     "snapshot_paths",
+    "to_chrome_trace",
     "validate_snapshot",
+    "CACHE_COUNTERS",
     "CONFIDENCE_CAP",
     "Histogram",
     "KIND_EVENT",
@@ -90,18 +132,23 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QuantileHistogram",
+    "TELEMETRY_NAMES",
     "TraceRecord",
     "Tracer",
     "active",
+    "histogram_from_dict",
     "install",
     "instrumented",
     "matrix_delta",
     "pass_spans",
+    "profile_data",
     "read_jsonl",
     "render_profile",
     "render_trace",
     "sparkline",
     "timed",
+    "trace_data",
     "trace_to_registry",
     "tracing",
     "uninstall",

@@ -52,6 +52,7 @@ from ..workloads import build_benchmark, suite_for_machine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.cache import ScheduleCache
+    from .flight import FlightLedger
 
 PathLike = Union[str, Path]
 
@@ -140,7 +141,10 @@ class BenchCell:
         cost: Compile-cost fields — ``compile_seconds`` (median),
             ``runs``, ``timing_noisy``, ``phase_seconds``,
             ``churn_total`` / ``final_entropy`` / ``final_confidence``
-            (``None`` for pass-free schedulers), guard counters.
+            (``None`` for pass-free schedulers), guard counters, plus
+            (snapshots ≥ BENCH_4) per-region compile-time tail
+            quantiles ``compile_p50``/``compile_p90``/``compile_p99``
+            and ``cache_hit_rate`` / ``cache_lookups``.
     """
 
     benchmark: str
@@ -363,6 +367,7 @@ class _CellSpec:
     repeats: int
     check_values: bool
     collect_phases: bool
+    flight: bool = False
 
 
 def _measure_cell_task(spec: _CellSpec) -> Dict[str, object]:
@@ -376,12 +381,15 @@ def _measure_cell_task(spec: _CellSpec) -> Dict[str, object]:
         spec: The cell recipe.
 
     Returns:
-        Dict with the assembled ``cell`` and the quality ``cycles``
-        (for baseline bookkeeping).
+        Dict with the assembled ``cell``, the quality ``cycles`` (for
+        baseline bookkeeping), and — when ``spec.flight`` — the cell's
+        per-region ``flight`` records as JSON-safe dicts.
     """
     from ..engine.pool import worker_cache
     from ..harness.measure import measure_program
+    from .flight import FlightLedger
 
+    cell_ledger = FlightLedger() if spec.flight else None
     program = build_benchmark(spec.benchmark, spec.target)
     scheduler = _make_scheduler(spec.scheduler, spec.seed)
     measurement = measure_program(
@@ -392,11 +400,17 @@ def _measure_cell_task(spec: _CellSpec) -> Dict[str, object]:
         check_values=spec.check_values,
         collect_phases=spec.collect_phases,
         cache=worker_cache(),
+        ledger=cell_ledger,
     )
     cell = _assemble_cell(
         spec.benchmark, spec.machine.name, spec.scheduler, measurement
     )
-    return {"cell": cell, "cycles": measurement.result.cycles}
+    flight = (
+        [record.to_dict() for record in cell_ledger.records]
+        if cell_ledger is not None
+        else []
+    )
+    return {"cell": cell, "cycles": measurement.result.cycles, "flight": flight}
 
 
 def run_bench(
@@ -411,6 +425,7 @@ def run_bench(
     snapshot_id: int = 0,
     jobs: int = 1,
     cache: Optional["ScheduleCache"] = None,
+    ledger: Optional["FlightLedger"] = None,
 ) -> BenchSnapshot:
     """Run the benchmark matrix and assemble a :class:`BenchSnapshot`.
 
@@ -441,6 +456,11 @@ def run_bench(
             hits replay recorded quality numbers (identical cells, much
             faster), and aggregate hit/miss counters land in the
             snapshot's ``config["cache"]``.
+        ledger: Optional :class:`~repro.observability.flight.
+            FlightLedger`; every cell's per-region flight records are
+            folded into it in plan order.  Quality columns are
+            byte-identical with the ledger on or off (the records ride
+            beside the measurement, never in it).
 
     Returns:
         The assembled snapshot with cells sorted by
@@ -482,6 +502,7 @@ def run_bench(
                         repeats=repeats,
                         check_values=check_values,
                         collect_phases=collect_phases,
+                        flight=ledger is not None,
                     )
                 )
     stats_before = cache.stats.to_dict() if cache is not None else {}
@@ -502,6 +523,12 @@ def run_bench(
         cells.append(outcome["cell"])
         if spec.scheduler == BASELINE_SCHEDULER:
             baseline_cycles[(spec.machine.name, spec.benchmark)] = outcome["cycles"]
+        if ledger is not None and outcome.get("flight"):
+            from .flight import FlightRecord
+
+            ledger.extend(
+                [FlightRecord.from_dict(r) for r in outcome["flight"]]
+            )
     for cell in cells:
         base = baseline_cycles.get((cell.machine, cell.benchmark), 0)
         cycles = cell.quality["cycles"]
@@ -546,6 +573,20 @@ def _assemble_cell(benchmark, machine_name, scheduler_name, measurement) -> Benc
     result = measurement.result
     metrics = result.metrics or {}
     counters = metrics.get("counters", {})
+    # Per-region compile-time tail from the first repeat's registry —
+    # QuantileHistogram dicts carry p50/p90/p99; legacy summary-only
+    # histograms (or pass-free schedulers) yield None.
+    compile_hist = metrics.get("histograms", {}).get("region.compile_seconds", {})
+    quantiles = {
+        f"compile_{q}": (
+            round(float(compile_hist[q]), 6) if q in compile_hist else None
+        )
+        for q in ("p50", "p90", "p99")
+    }
+    lookups = int(counters.get("cache.hits", 0)) + int(counters.get("cache.misses", 0))
+    hit_rate = (
+        round(int(counters.get("cache.hits", 0)) / lookups, 4) if lookups else 0.0
+    )
     quality = {
         "cycles": int(result.cycles),
         "transfers": int(result.transfers),
@@ -575,6 +616,9 @@ def _assemble_cell(benchmark, machine_name, scheduler_name, measurement) -> Benc
         ),
         "guard_rollbacks": int(counters.get("guard.rollbacks", 0)),
         "guard_quarantines": int(counters.get("guard.quarantines", 0)),
+        "cache_hit_rate": hit_rate,
+        "cache_lookups": lookups,
+        **quantiles,
     }
     return BenchCell(
         benchmark=benchmark,
@@ -601,6 +645,17 @@ QUALITY_FIELDS = {
 
 #: Cost fields every cell must carry (types checked when non-None).
 COST_FIELDS = ("compile_seconds", "runs", "timing_noisy", "phase_seconds")
+
+#: Cost fields added by the flight-recorder PR; optional so snapshots
+#: recorded before it (BENCH_1..3) stay schema-valid, but type-checked
+#: whenever present.
+OPTIONAL_COST_FIELDS = (
+    "compile_p50",
+    "compile_p90",
+    "compile_p99",
+    "cache_hit_rate",
+    "cache_lookups",
+)
 
 
 def validate_snapshot(data: Dict[str, object]) -> List[str]:
@@ -676,6 +731,12 @@ def validate_snapshot(data: Dict[str, object]) -> List[str]:
             for fname in COST_FIELDS:
                 if fname not in cost:
                     problems.append(f"{where}: cost missing {fname!r}")
+            for fname in OPTIONAL_COST_FIELDS:
+                value = cost.get(fname)
+                if value is not None and fname in cost and (
+                    not isinstance(value, (int, float)) or isinstance(value, bool)
+                ):
+                    problems.append(f"{where}: cost.{fname} has wrong type")
     return problems
 
 

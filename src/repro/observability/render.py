@@ -9,7 +9,7 @@ where does scheduling time actually go).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .tracer import KIND_EVENT, KIND_SPAN, TraceRecord
 
@@ -62,6 +62,53 @@ def pass_spans(records: Sequence[TraceRecord]) -> List[TraceRecord]:
     ]
 
 
+def trace_data(records: Sequence[TraceRecord]) -> Dict[str, Any]:
+    """Structured per-pass convergence data behind ``repro trace``.
+
+    The same aggregation :func:`render_trace` draws as a table, as a
+    JSON-safe dict for ``repro trace --json`` — so dashboards consume
+    the numbers without screen-scraping the renderer.
+
+    Args:
+        records: Trace records from one (or more) converge runs.
+
+    Returns:
+        Dict with ``passes`` (one dict per pass application: name,
+        round, ``ms``, ``l1_churn``, ``flips``, ``mean_entropy``,
+        ``mean_confidence``), ``guards`` (guard events), and
+        ``final_confidence``.
+    """
+    passes = []
+    for r in pass_spans(records):
+        f = r.fields
+        passes.append(
+            {
+                "pass": r.name[len(PASS_SPAN_PREFIX):],
+                "round": int(f.get("round", 0)),
+                "ms": (r.duration_s or 0.0) * 1000,
+                "l1_churn": float(f.get("l1_churn", 0.0)),
+                "flips": int(f.get("flips", 0)),
+                "mean_entropy": float(f.get("mean_entropy", 0.0)),
+                "mean_confidence": float(f.get("mean_confidence", 0.0)),
+            }
+        )
+    guards = [
+        {
+            "pass": r.fields.get("pass_name"),
+            "round": r.fields.get("round"),
+            "kind": r.fields.get("guard_kind"),
+            "detail": r.fields.get("detail"),
+        }
+        for r in records
+        if r.kind == KIND_EVENT and r.name == "guard"
+    ]
+    return {
+        "passes": passes,
+        "guards": guards,
+        "final_confidence": passes[-1]["mean_confidence"] if passes else None,
+    }
+
+
 def render_trace(records: Sequence[TraceRecord], title: str = "convergence trace") -> str:
     """Per-pass convergence table plus a confidence sparkline.
 
@@ -77,21 +124,20 @@ def render_trace(records: Sequence[TraceRecord], title: str = "convergence trace
     Returns:
         The rendered table, sparkline, and any guard-event lines.
     """
-    passes = pass_spans(records)
+    data = trace_data(records)
     rows = []
     confidences: List[float] = []
-    for r in passes:
-        f = r.fields
-        confidences.append(float(f.get("mean_confidence", 0.0)))
+    for p in data["passes"]:
+        confidences.append(p["mean_confidence"])
         rows.append(
             [
-                r.name[len(PASS_SPAN_PREFIX):],
-                f.get("round", 0),
-                f"{(r.duration_s or 0.0) * 1000:.2f}",
-                f"{f.get('l1_churn', 0.0):.4f}",
-                f.get("flips", 0),
-                f"{f.get('mean_entropy', 0.0):.3f}",
-                f"{f.get('mean_confidence', 0.0):.2f}",
+                p["pass"],
+                p["round"],
+                f"{p['ms']:.2f}",
+                f"{p['l1_churn']:.4f}",
+                p["flips"],
+                f"{p['mean_entropy']:.3f}",
+                f"{p['mean_confidence']:.2f}",
             ]
         )
     lines = [
@@ -105,12 +151,10 @@ def render_trace(records: Sequence[TraceRecord], title: str = "convergence trace
         lines.append("")
         lines.append(f"confidence/pass  {sparkline(confidences, lo=0.0)}  "
                      f"(final {confidences[-1]:.2f})")
-    guard_events = [r for r in records if r.kind == KIND_EVENT and r.name == "guard"]
-    for event in guard_events:
-        f = event.fields
+    for guard in data["guards"]:
         lines.append(
-            f"  ! guard: {f.get('pass_name')} (round {f.get('round')}) "
-            f"{f.get('guard_kind')} — {f.get('detail')}"
+            f"  ! guard: {guard['pass']} (round {guard['round']}) "
+            f"{guard['kind']} — {guard['detail']}"
         )
     return "\n".join(lines)
 
@@ -139,6 +183,60 @@ def render_profile(
     Returns:
         The rendered breakdown table with a top-level total footer.
     """
+    data = profile_data(records, wall_seconds=wall_seconds)
+    rows = []
+    for phase in data["phases"]:
+        if phase["share_pct"] is None:
+            share = "-"
+        elif phase["top_level"]:
+            share = f"{phase['share_pct']:.1f}%"
+        else:
+            share = f"({phase['share_pct']:.1f}%)"
+        rows.append(
+            [
+                phase["phase"],
+                phase["calls"],
+                f"{phase['total_ms']:.2f}",
+                f"{phase['mean_ms']:.3f}",
+                share,
+            ]
+        )
+    other_ms = data["other_ms"]
+    wall_ms = data["wall_ms"]
+    if other_ms > 0 and wall_ms > 0:
+        rows.append(
+            ["other", "-", f"{other_ms:.2f}", "-", f"{100 * other_ms / wall_ms:.1f}%"]
+        )
+    table = _format_table(
+        ["phase", "calls", "total ms", "mean ms", "share"], rows, title=title
+    )
+    footer = f"\n{'total (top-level)':<12}  {data['span_total_ms']:.2f} ms"
+    if other_ms > 0:
+        footer += f"\n{'total (wall)':<12}  {wall_ms:.2f} ms"
+    return table + footer
+
+
+def profile_data(
+    records: Sequence[TraceRecord],
+    wall_seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Structured compile-time breakdown behind ``repro profile``.
+
+    The same exhaustive accounting :func:`render_profile` draws, as a
+    JSON-safe dict for ``repro profile --json``: top-level phase shares
+    (plus the ``other`` residual) sum to 100% of the wall time; nested
+    phases are marked ``top_level: false`` and excluded from the budget.
+
+    Args:
+        records: Trace records from one or more runs.
+        wall_seconds: Measured wall time of the profiled block; time
+            outside any span becomes ``other_ms``.
+
+    Returns:
+        Dict with ``phases`` (sorted by total time, each carrying
+        ``phase``/``calls``/``total_ms``/``mean_ms``/``share_pct``/
+        ``top_level``), ``span_total_ms``, ``wall_ms``, ``other_ms``.
+    """
     totals: Dict[str, List[float]] = {}
     top_seconds: Dict[str, float] = {}
     order: List[str] = []
@@ -158,32 +256,29 @@ def render_profile(
     if wall_seconds is not None and wall_seconds > 0:
         wall = max(wall_seconds, span_total)
     other = wall - span_total
-    rows = []
+    phases = []
     for name in sorted(order, key=lambda n: -totals[n][1]):
         calls, seconds = totals[name]
+        top_level = name in top_seconds
         if wall <= 0:
-            share = "-"
-        elif name in top_seconds:
-            share = f"{100 * top_seconds[name] / wall:.1f}%"
+            share_pct = None
+        elif top_level:
+            share_pct = 100 * top_seconds[name] / wall
         else:
-            share = f"({100 * seconds / wall:.1f}%)"
-        rows.append(
-            [
-                name,
-                int(calls),
-                f"{seconds * 1000:.2f}",
-                f"{seconds / calls * 1000:.3f}",
-                share,
-            ]
+            share_pct = 100 * seconds / wall
+        phases.append(
+            {
+                "phase": name,
+                "calls": int(calls),
+                "total_ms": seconds * 1000,
+                "mean_ms": seconds / calls * 1000,
+                "share_pct": share_pct,
+                "top_level": top_level,
+            }
         )
-    if other > 0 and wall > 0:
-        rows.append(
-            ["other", "-", f"{other * 1000:.2f}", "-", f"{100 * other / wall:.1f}%"]
-        )
-    table = _format_table(
-        ["phase", "calls", "total ms", "mean ms", "share"], rows, title=title
-    )
-    footer = f"\n{'total (top-level)':<12}  {span_total * 1000:.2f} ms"
-    if other > 0:
-        footer += f"\n{'total (wall)':<12}  {wall * 1000:.2f} ms"
-    return table + footer
+    return {
+        "phases": phases,
+        "span_total_ms": span_total * 1000,
+        "wall_ms": wall * 1000,
+        "other_ms": other * 1000,
+    }

@@ -1,0 +1,190 @@
+"""Cross-snapshot trend analysis: the trajectory behind ``repro trend``.
+
+The committed ``BENCH_<n>.json`` snapshots form a longitudinal record
+of schedule quality and compile cost (see
+:mod:`repro.observability.bench`).  This module reads *all* of them and
+renders per-cell series — cycles and compile seconds per
+(benchmark, machine, scheduler) — as sparklines with regression flags:
+
+* **cycles** are deterministic and exact-gated, so any increase from
+  the previous snapshot is flagged as a regression (``!``) and any
+  decrease as an improvement (``+``);
+* **compile seconds** are hardware-dependent, so timing changes are
+  warn-only (``~`` past :data:`TIMING_WARN_RATIO`), mirroring the
+  bench compare gate's policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .bench import BenchSnapshot, snapshot_paths
+from .render import sparkline
+
+PathLike = Union[str, Path]
+
+#: Compile-time growth beyond this ratio vs. the previous snapshot gets
+#: the warn-only ``~`` marker (timing is never gated, per bench policy).
+TIMING_WARN_RATIO = 1.5
+
+
+@dataclass
+class CellTrend:
+    """One cell's series across every snapshot that measured it.
+
+    Attributes:
+        benchmark: Benchmark name.
+        machine: Machine name.
+        scheduler: Scheduler name.
+        snapshot_ids: The snapshots the cell appears in, ascending.
+        cycles: Simulated cycles per snapshot (aligned with
+            ``snapshot_ids``).
+        compile_seconds: Median compile seconds per snapshot.
+        cycles_regressed: True when the latest snapshot's cycles are
+            higher than the previous one's.
+        cycles_improved: True when they are lower.
+        timing_warn: True when the latest compile time grew beyond
+            :data:`TIMING_WARN_RATIO` × the previous one.
+    """
+
+    benchmark: str
+    machine: str
+    scheduler: str
+    snapshot_ids: List[int] = field(default_factory=list)
+    cycles: List[int] = field(default_factory=list)
+    compile_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The (benchmark, machine, scheduler) identity of the series."""
+        return (self.benchmark, self.machine, self.scheduler)
+
+    @property
+    def cycles_regressed(self) -> bool:
+        """Latest cycles strictly above the previous snapshot's."""
+        return len(self.cycles) >= 2 and self.cycles[-1] > self.cycles[-2]
+
+    @property
+    def cycles_improved(self) -> bool:
+        """Latest cycles strictly below the previous snapshot's."""
+        return len(self.cycles) >= 2 and self.cycles[-1] < self.cycles[-2]
+
+    @property
+    def timing_warn(self) -> bool:
+        """Latest compile time beyond the warn ratio vs. the previous."""
+        if len(self.compile_seconds) < 2 or self.compile_seconds[-2] <= 0:
+            return False
+        return self.compile_seconds[-1] / self.compile_seconds[-2] > TIMING_WARN_RATIO
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe series for ``repro trend --json``."""
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "scheduler": self.scheduler,
+            "snapshot_ids": list(self.snapshot_ids),
+            "cycles": list(self.cycles),
+            "compile_seconds": list(self.compile_seconds),
+            "cycles_regressed": self.cycles_regressed,
+            "cycles_improved": self.cycles_improved,
+            "timing_warn": self.timing_warn,
+        }
+
+
+def load_trends(
+    root: Optional[PathLike] = None,
+    machine: Optional[str] = None,
+    benchmark: Optional[str] = None,
+    scheduler: Optional[str] = None,
+) -> Tuple[List[int], List[CellTrend]]:
+    """Build per-cell series from every committed snapshot under ``root``.
+
+    Args:
+        root: Directory holding ``BENCH_<n>.json`` files; defaults to
+            the current directory.
+        machine: Keep only cells of this machine (``None`` = all).
+        benchmark: Keep only cells of this benchmark (``None`` = all).
+        scheduler: Keep only cells of this scheduler (``None`` = all).
+
+    Returns:
+        ``(snapshot_ids, trends)`` — the snapshot numbers read (ascending)
+        and the matching series sorted by (machine, benchmark, scheduler).
+    """
+    ids: List[int] = []
+    by_key: Dict[Tuple[str, str, str], CellTrend] = {}
+    for path in snapshot_paths(root):
+        snapshot = BenchSnapshot.load(path)
+        ids.append(snapshot.snapshot_id)
+        for cell in snapshot.cells:
+            if machine is not None and cell.machine != machine:
+                continue
+            if benchmark is not None and cell.benchmark != benchmark:
+                continue
+            if scheduler is not None and cell.scheduler != scheduler:
+                continue
+            trend = by_key.get(cell.key)
+            if trend is None:
+                trend = by_key[cell.key] = CellTrend(
+                    benchmark=cell.benchmark,
+                    machine=cell.machine,
+                    scheduler=cell.scheduler,
+                )
+            trend.snapshot_ids.append(snapshot.snapshot_id)
+            trend.cycles.append(int(cell.quality.get("cycles", 0)))
+            trend.compile_seconds.append(
+                float(cell.cost.get("compile_seconds", 0.0))
+            )
+    trends = sorted(
+        by_key.values(), key=lambda t: (t.machine, t.benchmark, t.scheduler)
+    )
+    return ids, trends
+
+
+def render_trend(snapshot_ids: List[int], trends: List[CellTrend]) -> str:
+    """Render per-cell cycle/compile-time series with sparklines.
+
+    One line per cell: cycles sparkline with first→last values and a
+    regression/improvement flag, compile-seconds sparkline with the
+    warn-only timing marker.
+
+    Args:
+        snapshot_ids: The snapshot numbers read (for the header).
+        trends: The series from :func:`load_trends`.
+
+    Returns:
+        The multi-line rendering ("no snapshots found" when empty).
+    """
+    if not snapshot_ids or not trends:
+        return "no snapshots found"
+    lines = [
+        f"trend over snapshots {', '.join(str(i) for i in snapshot_ids)} "
+        f"({len(trends)} cells)"
+    ]
+    label_width = max(
+        len(f"{t.machine}/{t.benchmark}/{t.scheduler}") for t in trends
+    )
+    regressions = 0
+    for trend in trends:
+        label = f"{trend.machine}/{trend.benchmark}/{trend.scheduler}"
+        flag = " "
+        if trend.cycles_regressed:
+            flag = "!"
+            regressions += 1
+        elif trend.cycles_improved:
+            flag = "+"
+        timing = "~" if trend.timing_warn else " "
+        cycles_line = sparkline([float(c) for c in trend.cycles])
+        seconds_line = sparkline(trend.compile_seconds)
+        lines.append(
+            f"{label:<{label_width}}  cycles {cycles_line} "
+            f"{trend.cycles[0]}→{trend.cycles[-1]} {flag}  "
+            f"compile {seconds_line} "
+            f"{trend.compile_seconds[0]:.3f}s→{trend.compile_seconds[-1]:.3f}s {timing}"
+        )
+    lines.append("")
+    lines.append(
+        f"{regressions} cycle regression(s); timing markers (~) are warn-only"
+    )
+    return "\n".join(lines)

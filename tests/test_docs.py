@@ -37,7 +37,7 @@ class TestDocumentsExist:
                  "docs/architecture.md", "docs/observability.md",
                  "docs/benchmarking.md", "docs/verification.md",
                  "docs/engine.md", "docs/resilience.md",
-                 "docs/kernels.md"]
+                 "docs/kernels.md", "docs/telemetry.md"]
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -147,6 +147,20 @@ class TestDocumentsExist:
                        "RESILIENCE_COUNTERS", "docs/engine.md"):
             assert needle in text, f"docs/resilience.md missing {needle!r}"
 
+    def test_telemetry_doc_covers_ledger_and_verbs(self):
+        text = (ROOT / "docs" / "telemetry.md").read_text()
+        for needle in ("repro timeline", "repro trend", "--chrome-trace",
+                       "--ledger", "QuantileHistogram", "FlightLedger",
+                       "queue_wait_s", "execute_s", "p50", "p99",
+                       "os.replace", "check_counter_names",
+                       "TELEMETRY_NAMES", "compile_p50", "cache_hit_rate"):
+            assert needle in text, f"docs/telemetry.md missing {needle!r}"
+
+    def test_telemetry_doc_is_cross_linked(self):
+        for name in ("docs/observability.md", "docs/engine.md", "README.md"):
+            text = (ROOT / name).read_text()
+            assert "telemetry.md" in text, f"{name} does not link telemetry.md"
+
     def test_engine_doc_links_resilience(self):
         text = (ROOT / "docs" / "engine.md").read_text()
         for needle in ("ResilienceConfig", "docs/resilience.md",
@@ -196,6 +210,10 @@ class TestAudits:
 
     def test_bench_schema_audit_passes(self):
         proc = self._run("check_bench_schema.py")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_counter_name_audit_passes(self):
+        proc = self._run("check_counter_names.py")
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
     def test_diag_code_audit_passes(self):
