@@ -1,15 +1,16 @@
 #!/usr/bin/env python
-"""Audit engine telemetry names against the registry and the docs.
+"""Audit telemetry names against the registry and the docs.
 
 Three invariants keep :data:`repro.observability.metrics.
 TELEMETRY_NAMES`, ``docs/telemetry.md``, and the emission sites under
-``src/repro/engine`` telling the same story:
+``src/repro/engine`` and ``src/repro/serve`` telling the same story:
 
 1. every name emitted through ``telemetry.inc(...)`` / ``.observe(...)``
-   in the engine sources is registered in ``TELEMETRY_NAMES`` —
-   f-string placeholders are expanded over their documented domains
+   in the engine or serve sources is registered in ``TELEMETRY_NAMES``
+   — f-string placeholders are expanded over their documented domains
    (``{status}`` over the task statuses, ``{key}`` over the cache-stats
-   keys), so templated emissions are audited too;
+   keys, ``{outcome}`` over the server response classes), so templated
+   emissions are audited too;
 2. every registered name is actually emitted — a registered-but-dead
    name is a lie;
 3. every registered name appears backticked in ``docs/telemetry.md``,
@@ -30,19 +31,24 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.engine.cache import CacheStats  # noqa: E402
 from repro.observability.metrics import (  # noqa: E402
     ENGINE_TASK_STATUSES,
+    SERVE_OUTCOMES,
     TELEMETRY_NAMES,
 )
 
 #: ``telemetry.inc("...")`` / ``registry.observe(f"...")`` call sites.
 EMIT_RE = re.compile(r"\.(?:inc|observe)\(\s*(f?)\"([^\"]+)\"")
 
-#: Names that look like engine telemetry (dotted, known prefixes).
-PREFIXES = ("resilience.", "cache.", "engine.")
+#: Names that look like repo telemetry (dotted, known prefixes).
+PREFIXES = ("resilience.", "cache.", "engine.", "serve.")
+
+#: Source trees scanned for emission sites, relative to ``src/repro``.
+SCAN_DIRS = ("engine", "serve")
 
 #: Placeholder domains for f-string emission sites.
 EXPANSIONS = {
     "{status}": tuple(ENGINE_TASK_STATUSES),
     "{key}": tuple(CacheStats().to_dict()),
+    "{outcome}": tuple(SERVE_OUTCOMES),
 }
 
 
@@ -67,11 +73,12 @@ def expand(template: str) -> set:
     return {name for name in names if "{" not in name}
 
 
-def emitted_names(src_root: Path):
-    """Every telemetry name the engine sources can emit.
+def emitted_names(src_roots):
+    """Every telemetry name the scanned sources can emit.
 
     Args:
-        src_root: The ``src/repro/engine`` directory.
+        src_roots: Directories to scan (``src/repro/engine`` and
+            ``src/repro/serve``).
 
     Returns:
         ``(names, unknown)`` — concrete emitted names, and call-site
@@ -79,14 +86,15 @@ def emitted_names(src_root: Path):
     """
     names = set()
     unknown = []
-    for path in sorted(src_root.rglob("*.py")):
-        for is_f, literal in EMIT_RE.findall(path.read_text()):
-            if not literal.startswith(PREFIXES):
-                continue
-            concrete = expand(literal)
-            if not concrete:
-                unknown.append(f"{path.name}: {literal}")
-            names.update(concrete)
+    for src_root in src_roots:
+        for path in sorted(src_root.rglob("*.py")):
+            for is_f, literal in EMIT_RE.findall(path.read_text()):
+                if not literal.startswith(PREFIXES):
+                    continue
+                concrete = expand(literal)
+                if not concrete:
+                    unknown.append(f"{path.name}: {literal}")
+                names.update(concrete)
     return names, unknown
 
 
@@ -98,7 +106,9 @@ def main() -> int:
     """
     problems = []
     registered = set(TELEMETRY_NAMES)
-    emitted, unknown = emitted_names(ROOT / "src" / "repro" / "engine")
+    emitted, unknown = emitted_names(
+        [ROOT / "src" / "repro" / name for name in SCAN_DIRS]
+    )
     for template in unknown:
         problems.append(f"unexpandable emission template: {template}")
 
@@ -110,9 +120,9 @@ def main() -> int:
     }
 
     for name in sorted(emitted - registered):
-        problems.append(f"{name}: emitted in src/repro/engine but not in TELEMETRY_NAMES")
+        problems.append(f"{name}: emitted in sources but not in TELEMETRY_NAMES")
     for name in sorted(registered - emitted):
-        problems.append(f"{name}: registered but never emitted under src/repro/engine")
+        problems.append(f"{name}: registered but never emitted under scanned sources")
     for name in sorted(registered - documented):
         problems.append(f"{name}: registered but not documented in docs/telemetry.md")
     for name in sorted(documented - registered):

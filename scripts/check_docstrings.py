@@ -32,7 +32,8 @@ from typing import Iterator, List, Tuple
 # repro.core.kernels is inside repro.core, but is named explicitly so
 # the kernel layer stays audited even if the package list is trimmed.
 DEFAULT_PACKAGES = ("repro.core", "repro.core.kernels", "repro.engine",
-                    "repro.harness", "repro.observability", "repro.verify")
+                    "repro.harness", "repro.observability", "repro.serve",
+                    "repro.verify")
 
 #: Accepted section spellings for parameter documentation.
 ARGS_SECTIONS = ("Args:", "Arguments:", "Attributes:")

@@ -34,10 +34,19 @@
   or export it as Chrome trace-event JSON (``--chrome-trace``);
 * ``trend`` — cross-snapshot trend analysis: per-cell cycle and
   compile-time series over every committed ``BENCH_<n>.json``, with
-  sparklines and regression flags.
+  sparklines and regression flags;
+* ``serve`` — compilation-as-a-service: the async HTTP compile server
+  (``POST /compile``, ``GET /healthz``, ``GET /metrics``) with warm
+  fast lane, batched engine waves, request coalescing, and bounded
+  backpressure (see ``docs/serving.md``);
+* ``loadtest`` — drive a live (or ``--spawn``ed) compile server with a
+  seeded open/closed-loop request mix; reports latency quantiles,
+  throughput, and cache hit rate, and gates on thresholds and the
+  latest bench snapshot in the style of ``bench --compare``.
 
 The hardened subcommands (``faults``, ``bench``, ``verify``, ``cache``,
-``resilience``, ``timeline``, ``trend``) use distinct exit codes so CI can tell *why* a gate
+``resilience``, ``timeline``, ``trend``, ``serve``, ``loadtest``) use
+distinct exit codes so CI can tell *why* a gate
 went red: 0 success, 1 genuine failure or regression, 2 operator /
 configuration error, 3 unexpected crash.
 """
@@ -66,7 +75,7 @@ from .harness import (
     save_result,
     vliw_speedups,
 )
-from .machine import ClusteredVLIW, Machine, RawMachine, raw_with_tiles
+from .machine import ClusteredVLIW, Machine, RawMachine, machine_from_spec, raw_with_tiles
 from .observability import (
     BenchSnapshot,
     FlightLedger,
@@ -144,18 +153,10 @@ def _hardened(handler):
 
 def parse_machine(spec: str) -> Machine:
     """Parse a machine spec: ``vliw4``, ``raw4x4``, or ``raw16``."""
-    match = re.fullmatch(r"vliw(\d+)", spec)
-    if match:
-        return ClusteredVLIW(int(match.group(1)))
-    match = re.fullmatch(r"raw(\d+)x(\d+)", spec)
-    if match:
-        return RawMachine(int(match.group(1)), int(match.group(2)))
-    match = re.fullmatch(r"raw(\d+)", spec)
-    if match:
-        return raw_with_tiles(int(match.group(1)))
-    raise argparse.ArgumentTypeError(
-        f"unknown machine {spec!r}; expected vliwN, rawN, or rawRxC"
-    )
+    try:
+        return machine_from_spec(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -514,6 +515,107 @@ def _cmd_trend(args: argparse.Namespace) -> int:
         print(f"trend data written to {args.json}")
     if not ids:
         return EXIT_CONFIG
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async compile server until interrupted."""
+    import asyncio
+
+    from .serve import CompileServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        client_limit=args.client_limit,
+        read_timeout_s=args.read_timeout,
+        ledger_path=args.ledger,
+    )
+
+    async def _serve_forever() -> None:
+        server = CompileServer(config)
+        await server.start()
+        print(
+            f"repro serve listening on http://{config.host}:{server.port} "
+            f"(jobs={config.jobs}, max_batch={config.max_batch}, "
+            f"queue_limit={config.queue_limit})"
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return EXIT_OK
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Load-test a compile server; optionally gate on thresholds."""
+    import json
+
+    from .serve import LoadtestConfig, ServeConfig, ServerThread, run_loadtest
+
+    spawned = None
+    host, port = args.host, args.port
+    if args.spawn:
+        spawned = ServerThread(
+            ServeConfig(host=args.host, port=0, jobs=args.jobs)
+        ).start()
+        host, port = spawned.host, spawned.port
+        print(f"spawned compile server at {spawned.base_url}")
+    config = LoadtestConfig(
+        host=host,
+        port=port,
+        clients=args.clients,
+        requests=args.requests,
+        mode=args.mode,
+        rate=args.rate,
+        seed=args.seed,
+        machines=tuple(args.machines),
+        schedulers=tuple(args.schedulers) if args.schedulers else None,
+        benchmarks=tuple(args.benchmarks) if args.benchmarks else None,
+        warm=not args.no_warm,
+    )
+    try:
+        report = run_loadtest(config)
+    finally:
+        if spawned is not None:
+            spawned.stop()
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"load report written to {args.json}")
+    violations = report.gate(
+        max_p99_ms=args.gate_p99_ms,
+        min_hit_rate=args.gate_hit_rate,
+        max_5xx=args.gate_5xx,
+        max_error_rate=args.max_error_rate,
+    )
+    if args.against_latest:
+        latest = latest_snapshot_path()
+        if latest is None:
+            print(
+                "error: no committed BENCH_*.json to compare against",
+                file=sys.stderr,
+            )
+            return EXIT_CONFIG
+        mismatches = report.snapshot_mismatches(str(latest))
+        violations.extend(
+            f"vs {latest.name}: {mismatch}" for mismatch in mismatches
+        )
+        if not mismatches:
+            print(f"quality matches {latest.name} on every overlapping cell")
+    if violations:
+        for violation in violations:
+            print(f"GATE VIOLATION: {violation}")
+        return EXIT_FAILURE
     return EXIT_OK
 
 
@@ -1035,6 +1137,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trend series as JSON to this path",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="compilation-as-a-service: async HTTP server with POST "
+             "/compile, GET /healthz, GET /metrics (see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8377,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="engine worker processes"
+    )
+    serve.add_argument(
+        "--cache-dir", help="shared on-disk schedule cache directory"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="most requests folded into one engine wave",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="cold requests queued before shedding with 429",
+    )
+    serve.add_argument(
+        "--client-limit", type=int, default=16,
+        help="concurrent requests per client before shedding with 429",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=30.0,
+        help="seconds before a dawdling connection is dropped",
+    )
+    serve.add_argument(
+        "--ledger", metavar="PATH",
+        help="flush the flight ledger here on shutdown (repro timeline)",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a compile server with a seeded request mix; report "
+             "latency quantiles and optionally gate like bench --compare",
+    )
+    loadtest.add_argument("--host", default="127.0.0.1", help="server address")
+    loadtest.add_argument(
+        "--port", type=int, default=8377, help="server port"
+    )
+    loadtest.add_argument(
+        "--spawn", action="store_true",
+        help="boot a private server on an ephemeral port for this run",
+    )
+    loadtest.add_argument(
+        "--jobs", type=int, default=1,
+        help="engine workers for the spawned server (with --spawn)",
+    )
+    loadtest.add_argument(
+        "--clients", type=int, default=4, help="concurrent load clients"
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=100, help="total measured requests"
+    )
+    loadtest.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed loop (clients wait) or open loop (fixed-rate arrivals)",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=200.0,
+        help="open-loop arrival rate, requests/second",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=0, help="request-mix seed"
+    )
+    loadtest.add_argument(
+        "--machines", nargs="+", default=["raw4x4", "vliw4"],
+        help="machine specs in the mix",
+    )
+    loadtest.add_argument(
+        "--schedulers", nargs="+",
+        help="schedulers in the mix (default: per-machine-family pair)",
+    )
+    loadtest.add_argument(
+        "--benchmarks", nargs="+",
+        help="benchmarks in the mix (default: a small cross-suite set)",
+    )
+    loadtest.add_argument(
+        "--no-warm", action="store_true",
+        help="skip the unmeasured cache-warming pass",
+    )
+    loadtest.add_argument(
+        "--json", metavar="PATH", help="write the load report as JSON"
+    )
+    loadtest.add_argument(
+        "--gate-p99-ms", type=float,
+        help="fail if p99 latency exceeds this many milliseconds",
+    )
+    loadtest.add_argument(
+        "--gate-hit-rate", type=float,
+        help="fail if the warm-cache hit rate is below this fraction",
+    )
+    loadtest.add_argument(
+        "--gate-5xx", type=int, default=0,
+        help="fail if more than this many 5xx responses land (default 0)",
+    )
+    loadtest.add_argument(
+        "--max-error-rate", type=float, default=0.0,
+        help="fail if errors exceed this fraction of requests (default 0)",
+    )
+    loadtest.add_argument(
+        "--against-latest", action="store_true",
+        help="cross-check served cycles against the latest BENCH_<n>.json",
+    )
+
     return parser
 
 
@@ -1051,9 +1264,11 @@ _COMMANDS = {
     "fig10": _cmd_fig10,
     "convergence": _cmd_convergence,
     "faults": _hardened(_cmd_faults),
+    "loadtest": _hardened(_cmd_loadtest),
     "profile": _cmd_profile,
     "resilience": _hardened(_cmd_resilience),
     "search": _cmd_search,
+    "serve": _hardened(_cmd_serve),
     "timeline": _hardened(_cmd_timeline),
     "trace": _cmd_trace,
     "trend": _hardened(_cmd_trend),

@@ -49,6 +49,7 @@ from .pool import (
     CompilationEngine,
     RegionTask,
     TaskOutcome,
+    execute_task,
     worker_cache,
 )
 from .resilience import (
@@ -94,6 +95,7 @@ __all__ = [
     "active_budget",
     "budget_scope",
     "canonical_permutation",
+    "execute_task",
     "ddg_fingerprint",
     "machine_fingerprint",
     "schedule_key",

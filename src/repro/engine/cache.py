@@ -44,6 +44,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -255,6 +256,11 @@ class ScheduleCache:
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.stats = CacheStats()
         self._memory: "OrderedDict[str, str]" = OrderedDict()
+        # One cache object may be shared between threads (the compile
+        # server's warm fast lane and its engine lane); the lock keeps
+        # the LRU order and the stats counters coherent.  Held only for
+        # sub-millisecond lookup/store critical sections.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Spec round-trip (process-pool workers rebuild equivalent caches)
@@ -290,41 +296,65 @@ class ScheduleCache:
         Returns:
             A fresh :class:`CacheHit`, or ``None`` on a miss.
         """
-        text = self._memory.get(fingerprint.key)
-        if text is not None:
-            self._memory.move_to_end(fingerprint.key)
-        elif self.disk_dir is not None:
-            text = self._disk_read(fingerprint.key)
+        with self._lock:
+            text = self._memory.get(fingerprint.key)
             if text is not None:
-                self._memory_store(fingerprint.key, text)
-        if text is None:
-            self.stats.misses += 1
-            return None
-        try:
-            entry = json.loads(text)
-            hit = CacheHit(
-                schedule=_schedule_from_canonical(
-                    entry["schedule"], fingerprint, region
-                ),
-                cycles=int(entry["cycles"]),
-                transfers=int(entry["transfers"]),
-                utilization=float(entry["utilization"]),
-                comm_busy=int(entry["comm_busy"]),
-                compile_seconds=float(entry["compile_seconds"]),
-                verified=entry.get("verified"),
-                diagnostics=list(entry.get("diagnostics", [])),
-            )
-        except (KeyError, ValueError, TypeError, IndexError):
-            # A malformed entry (schema drift, truncation) is a miss —
-            # counted, quarantined on disk, never raised into a compile.
-            self._memory.pop(fingerprint.key, None)
-            self.stats.corrupt += 1
-            if self.disk_dir is not None:
-                self._quarantine(self._disk_path(fingerprint.key))
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return hit
+                self._memory.move_to_end(fingerprint.key)
+            elif self.disk_dir is not None:
+                text = self._disk_read(fingerprint.key)
+                if text is not None:
+                    self._memory_store(fingerprint.key, text)
+            if text is None:
+                self.stats.misses += 1
+                return None
+            try:
+                entry = json.loads(text)
+                hit = CacheHit(
+                    schedule=_schedule_from_canonical(
+                        entry["schedule"], fingerprint, region
+                    ),
+                    cycles=int(entry["cycles"]),
+                    transfers=int(entry["transfers"]),
+                    utilization=float(entry["utilization"]),
+                    comm_busy=int(entry["comm_busy"]),
+                    compile_seconds=float(entry["compile_seconds"]),
+                    verified=entry.get("verified"),
+                    diagnostics=list(entry.get("diagnostics", [])),
+                )
+            except (KeyError, ValueError, TypeError, IndexError):
+                # A malformed entry (schema drift, truncation) is a miss —
+                # counted, quarantined on disk, never raised into a compile.
+                self._memory.pop(fingerprint.key, None)
+                self.stats.corrupt += 1
+                if self.disk_dir is not None:
+                    self._quarantine(self._disk_path(fingerprint.key))
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return hit
+
+    def contains(self, key: str) -> bool:
+        """Probe for an entry without serving it or touching the stats.
+
+        Used by the compile server to decide whether a request can take
+        the warm fast lane.  A positive probe is advisory only — the
+        entry can be evicted (or found corrupt) before the follow-up
+        :meth:`get`, which then simply compiles.
+
+        Args:
+            key: The fingerprint key (:attr:`~repro.engine.fingerprint.
+                Fingerprint.key`).
+
+        Returns:
+            True when the key is present in the memory layer or as an
+            on-disk entry file.
+        """
+        with self._lock:
+            if key in self._memory:
+                return True
+        if self.disk_dir is None:
+            return False
+        return self._disk_path(key).is_file()
 
     def put(
         self,
@@ -369,17 +399,19 @@ class ScheduleCache:
             "schedule": _schedule_to_canonical(schedule, fingerprint.permutation),
         }
         text = json.dumps(entry, sort_keys=True)
-        self._memory_store(fingerprint.key, text)
-        if self.disk_dir is not None:
-            self._disk_write(fingerprint.key, text)
-        self.stats.stores += 1
+        with self._lock:
+            self._memory_store(fingerprint.key, text)
+            if self.disk_dir is not None:
+                self._disk_write(fingerprint.key, text)
+            self.stats.stores += 1
 
     def __len__(self) -> int:
         return len(self._memory)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (the disk layer is untouched)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
     # ------------------------------------------------------------------
     # Layers

@@ -292,6 +292,29 @@ def _execute_region_task(
     return outcome
 
 
+def execute_task(
+    task: RegionTask, cache: Optional[ScheduleCache]
+) -> TaskOutcome:
+    """Execute one task in the calling thread, outside any engine.
+
+    The public entry point for in-process callers that need the
+    engine's single-task semantics — cache lookup/store, fast replay of
+    hits, captured failures — without a :class:`CompilationEngine`
+    (the compile server's warm fast lane uses it so cache hits never
+    queue behind a batch).  The cache is exposed via
+    :func:`worker_cache` for the duration, exactly as in a worker.
+
+    Args:
+        task: The work item.
+        cache: Schedule cache to consult/populate, or ``None``.
+
+    Returns:
+        The fully-populated :class:`TaskOutcome`.
+    """
+    with _as_worker_cache(cache):
+        return _execute_region_task(task, cache)
+
+
 # ----------------------------------------------------------------------
 # Worker-process state
 # ----------------------------------------------------------------------

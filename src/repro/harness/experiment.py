@@ -357,6 +357,67 @@ def _run_regions_engine(
     return [outcome.result for outcome in outcomes]
 
 
+def aggregate_program_result(
+    program: Program,
+    machine_name: str,
+    scheduler_name: str,
+    region_results: List[RegionResult],
+    registry: Optional[MetricsRegistry] = None,
+) -> ProgramResult:
+    """Fold per-region results into one :class:`ProgramResult`.
+
+    This is the single aggregation rule behind :func:`run_program` —
+    trip-count-weighted cycle/transfer totals, summed compile seconds,
+    and the ok/partial/failed status ladder with a first-three-failures
+    error summary.  The compile server reuses it verbatim so a served
+    response aggregates byte-identically to a serial run.
+
+    Args:
+        program: The program whose regions were scheduled (supplies
+            names and trip counts; ``region_results`` must align with
+            ``program.regions`` by position).
+        machine_name: Target machine name for the result.
+        scheduler_name: Scheduler name for the result.
+        region_results: One :class:`RegionResult` per region, in region
+            order.
+        registry: Optional metrics registry; when given, program-level
+            counters are recorded and its snapshot is attached.
+
+    Returns:
+        The aggregated :class:`ProgramResult`.
+    """
+    total_cycles = 0
+    total_transfers = 0
+    total_seconds = 0.0
+    for region, result in zip(program.regions, region_results):
+        total_cycles += result.cycles * region.trip_count
+        total_transfers += result.transfers * region.trip_count
+        total_seconds += result.compile_seconds
+    failed = [r for r in region_results if not r.ok]
+    if not failed:
+        status, error = STATUS_OK, None
+    else:
+        status = STATUS_FAILED if len(failed) == len(region_results) else STATUS_PARTIAL
+        error = "; ".join(
+            f"{r.region_name}: {r.error}" for r in failed[:3]
+        ) + ("" if len(failed) <= 3 else f"; +{len(failed) - 3} more")
+    if registry is not None:
+        registry.inc("programs.run")
+        registry.observe("program.compile_seconds", total_seconds)
+    return ProgramResult(
+        benchmark=program.name,
+        machine_name=machine_name,
+        scheduler_name=scheduler_name,
+        cycles=total_cycles,
+        transfers=total_transfers,
+        compile_seconds=total_seconds,
+        regions=region_results,
+        status=status,
+        error=error,
+        metrics=registry.snapshot() if registry is not None else None,
+    )
+
+
 def run_program(
     program: Program,
     machine: Machine,
@@ -442,33 +503,6 @@ def run_program(
     finally:
         if own_engine is not None:
             own_engine.close()
-    total_cycles = 0
-    total_transfers = 0
-    total_seconds = 0.0
-    for region, result in zip(program.regions, region_results):
-        total_cycles += result.cycles * region.trip_count
-        total_transfers += result.transfers * region.trip_count
-        total_seconds += result.compile_seconds
-    failed = [r for r in region_results if not r.ok]
-    if not failed:
-        status, error = STATUS_OK, None
-    else:
-        status = STATUS_FAILED if len(failed) == len(region_results) else STATUS_PARTIAL
-        error = "; ".join(
-            f"{r.region_name}: {r.error}" for r in failed[:3]
-        ) + ("" if len(failed) <= 3 else f"; +{len(failed) - 3} more")
-    if registry is not None:
-        registry.inc("programs.run")
-        registry.observe("program.compile_seconds", total_seconds)
-    return ProgramResult(
-        benchmark=program.name,
-        machine_name=machine.name,
-        scheduler_name=scheduler.name,
-        cycles=total_cycles,
-        transfers=total_transfers,
-        compile_seconds=total_seconds,
-        regions=region_results,
-        status=status,
-        error=error,
-        metrics=registry.snapshot() if registry is not None else None,
+    return aggregate_program_result(
+        program, machine.name, scheduler.name, region_results, registry
     )

@@ -1,5 +1,7 @@
 """Spatial machine models: clustered VLIW (Chorus) and the Raw mesh."""
 
+import re
+
 from .fu import Cluster, FunctionalUnit
 from .machine import CommResource, Machine
 from .raw import RawMachine, raw_with_tiles
@@ -12,6 +14,39 @@ from .switchgen import (
 )
 from .vliw import ClusteredVLIW, single_cluster_vliw
 
+
+def machine_from_spec(spec: str) -> Machine:
+    """Build a machine model from a compact spec string.
+
+    The grammar is shared by the CLI and the serve wire schema:
+    ``vliwN`` (an N-cluster :class:`ClusteredVLIW`), ``rawRxC`` (an
+    R-by-C :class:`RawMachine` mesh), or ``rawN`` (an N-tile mesh via
+    :func:`raw_with_tiles`).
+
+    Args:
+        spec: The spec string, e.g. ``"vliw4"``, ``"raw4x4"``,
+            ``"raw16"``.
+
+    Returns:
+        The machine model.
+
+    Raises:
+        ValueError: When the spec matches none of the three forms.
+    """
+    match = re.fullmatch(r"vliw(\d+)", spec)
+    if match:
+        return ClusteredVLIW(int(match.group(1)))
+    match = re.fullmatch(r"raw(\d+)x(\d+)", spec)
+    if match:
+        return RawMachine(int(match.group(1)), int(match.group(2)))
+    match = re.fullmatch(r"raw(\d+)", spec)
+    if match:
+        return raw_with_tiles(int(match.group(1)))
+    raise ValueError(
+        f"unknown machine {spec!r}; expected vliwN, rawN, or rawRxC"
+    )
+
+
 __all__ = [
     "Cluster",
     "ClusteredVLIW",
@@ -19,6 +54,7 @@ __all__ = [
     "FunctionalUnit",
     "Machine",
     "Port",
+    "machine_from_spec",
     "SwitchOp",
     "RawMachine",
     "generate_switch_code",

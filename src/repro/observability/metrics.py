@@ -95,6 +95,33 @@ ENGINE_HISTOGRAM_PREFIXES = (
     "engine.execute_seconds",
 )
 
+#: Response classes the compile server tags its telemetry with:
+#: ``ok`` (200), ``bad_request`` (400/413), ``shed`` (429),
+#: ``not_found`` (404/405), ``error`` (500).
+SERVE_OUTCOMES = ("ok", "bad_request", "shed", "not_found", "error")
+
+#: Plain counters the compile server (:mod:`repro.serve.server`)
+#: records into its own registry, exposed at ``GET /metrics``.
+SERVE_COUNTERS = (
+    "serve.requests",
+    "serve.fast_path",
+    "serve.compiled",
+    "serve.coalesced",
+    "serve.batches",
+    "serve.parse_hits",
+    "serve.parse_misses",
+    "serve.shed.client",
+    "serve.shed.queue",
+    "serve.slow_clients",
+)
+
+#: Histograms the compile server records: ``serve.request_seconds.
+#: <outcome>`` (end-to-end request latency per response class, the
+#: source of the served p50/p99 quantiles), ``serve.batch_size``
+#: (requests folded per engine wave), and ``serve.queue_depth``
+#: (cold-queue depth sampled at each enqueue).
+SERVE_HISTOGRAM_PREFIXES = ("serve.request_seconds",)
+
 
 def _telemetry_names() -> Dict[str, str]:
     """Build the authoritative telemetry-name registry.
@@ -123,8 +150,20 @@ def _telemetry_names() -> Dict[str, str]:
         "cache.evictions": "entries evicted to respect the capacity bound",
         "cache.corrupt": "cache files whose checksum or payload failed to load",
         "cache.quarantined": "corrupt cache files moved into quarantine/",
+        "serve.requests": "HTTP requests accepted by the compile server",
+        "serve.fast_path": "compile requests answered from the warm fast lane",
+        "serve.compiled": "compile requests queued for an engine wave",
+        "serve.coalesced": "duplicate in-flight requests folded onto one compile",
+        "serve.batches": "engine waves dispatched by the batcher",
+        "serve.parse_hits": "request bodies answered from the parse cache",
+        "serve.parse_misses": "request bodies parsed and fingerprinted from scratch",
+        "serve.shed.client": "requests shed with 429 by the per-client limit",
+        "serve.shed.queue": "requests shed with 429 by the cold-queue bound",
+        "serve.slow_clients": "connections dropped for dawdling past the read timeout",
+        "serve.batch_size": "requests folded into each engine wave",
+        "serve.queue_depth": "cold-queue depth sampled at each enqueue",
     }
-    for name in RESILIENCE_COUNTERS + CACHE_COUNTERS:
+    for name in RESILIENCE_COUNTERS + CACHE_COUNTERS + SERVE_COUNTERS:
         names[name] = descriptions[name]
     for prefix in ENGINE_HISTOGRAM_PREFIXES:
         stage = "submit-to-start queue wait" if "queue_wait" in prefix else "start-to-finish execute time"
@@ -132,6 +171,17 @@ def _telemetry_names() -> Dict[str, str]:
             names[f"{prefix}.{status}"] = (
                 f"{stage} in seconds for tasks finishing with status {status}"
             )
+    for outcome in SERVE_OUTCOMES:
+        names[f"serve.responses.{outcome}"] = (
+            f"HTTP responses sent with outcome {outcome}"
+        )
+    for prefix in SERVE_HISTOGRAM_PREFIXES:
+        for outcome in SERVE_OUTCOMES:
+            names[f"{prefix}.{outcome}"] = (
+                f"end-to-end request latency in seconds for {outcome} responses"
+            )
+    for name in ("serve.batch_size", "serve.queue_depth"):
+        names[name] = descriptions[name]
     return names
 
 

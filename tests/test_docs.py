@@ -37,7 +37,8 @@ class TestDocumentsExist:
                  "docs/architecture.md", "docs/observability.md",
                  "docs/benchmarking.md", "docs/verification.md",
                  "docs/engine.md", "docs/resilience.md",
-                 "docs/kernels.md", "docs/telemetry.md"]
+                 "docs/kernels.md", "docs/telemetry.md",
+                 "docs/serving.md"]
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
@@ -155,6 +156,21 @@ class TestDocumentsExist:
                        "os.replace", "check_counter_names",
                        "TELEMETRY_NAMES", "compile_p50", "cache_hit_rate"):
             assert needle in text, f"docs/telemetry.md missing {needle!r}"
+
+    def test_serving_doc_covers_protocol_and_policy(self):
+        text = (ROOT / "docs" / "serving.md").read_text()
+        for needle in ("repro serve", "repro loadtest", "/compile",
+                       "/healthz", "/metrics", "compile_request",
+                       "WIRE_SCHEMA_VERSION", "Retry-After", "429",
+                       "coalesced", "adjacency", "--gate-p99-ms",
+                       "--against-latest", "--mode open",
+                       "check_counter_names", "FlightRecord"):
+            assert needle in text, f"docs/serving.md missing {needle!r}"
+
+    def test_serving_doc_is_cross_linked(self):
+        for name in ("README.md", "docs/architecture.md"):
+            text = (ROOT / name).read_text()
+            assert "serving.md" in text, f"{name} does not link serving.md"
 
     def test_telemetry_doc_is_cross_linked(self):
         for name in ("docs/observability.md", "docs/engine.md", "README.md"):
